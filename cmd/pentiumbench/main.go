@@ -1,0 +1,40 @@
+// Command pentiumbench reproduces the tables and figures of Lai & Baker,
+// "A Performance Comparison of UNIX Operating Systems on the Pentium"
+// (USENIX 1996) on the simulated platform.
+//
+// Usage:
+//
+//	pentiumbench list                 # show all experiments
+//	pentiumbench run all              # run everything, render to stdout
+//	pentiumbench run T2 F1 F12        # run selected exhibits
+//	pentiumbench csv F13              # emit CSV for external plotting
+//	pentiumbench svg all -out figures # write SVG figures
+//	pentiumbench check                # evaluate every paper claim
+//	pentiumbench sensitivity          # claims under perturbed calibration
+//	pentiumbench replay mailspool     # time a workload trace per system
+//	pentiumbench latency              # lmbench-style probes
+//	pentiumbench experiments          # regenerate EXPERIMENTS.md
+//	pentiumbench notes                # §11 qualitative findings
+//	pentiumbench platform             # the modelled hardware (Table 1)
+//
+// Flags:
+//
+//	-seed N      master seed (default 1; EXPERIMENTS.md uses 1)
+//	-runs N      repetitions per benchmark (default 20, as in the paper)
+//	-future      additionally benchmark the §13 "future work" systems
+//	-out DIR     svg output directory
+//	-eps F       sensitivity perturbation (default 0.15)
+//	-trials N    sensitivity replicas (default 5)
+//
+// All logic lives in internal/cli; this is a shim.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.NewApp(os.Stdout, os.Stderr).Execute(os.Args[1:]))
+}

@@ -1,0 +1,72 @@
+// Nfslab: run the Modified Andrew Benchmark over NFS for every client ×
+// server combination — the full matrix behind the paper's Tables 6 and 7,
+// including the combinations the authors lacked hardware for (§10: "We
+// did not test FreeBSD or Solaris as servers, since we do not have the
+// extra equipment available"). The simulation has no such constraint.
+//
+//	go run ./examples/nfslab
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/disk"
+	"repro/internal/netstack"
+	"repro/internal/nfs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+func main() {
+	clients := osprofile.Paper()
+	servers := []struct {
+		name string
+		make func() *nfs.Server
+	}{
+		{"Linux 1.2.8", func() *nfs.Server { return bench.NewNFSServer(bench.ServerLinux, 7) }},
+		{"SunOS 4.1.4", func() *nfs.Server { return bench.NewNFSServer(bench.ServerSunOS, 7) }},
+		// The combinations the paper could not run:
+		{"FreeBSD 2.0.5R", func() *nfs.Server {
+			return nfs.NewServer(osprofile.FreeBSD205(), disk.QuantumEmpire2100(), 7)
+		}},
+		{"Solaris 2.4", func() *nfs.Server {
+			return nfs.NewServer(osprofile.Solaris24(), disk.QuantumEmpire2100(), 7)
+		}},
+	}
+
+	fmt.Println("MAB over NFS, seconds (client rows × server columns):")
+	fmt.Printf("%-18s", "")
+	for _, s := range servers {
+		fmt.Printf(" %16s", s.name)
+	}
+	fmt.Println()
+	for _, c := range clients {
+		fmt.Printf("%-18s", c.String())
+		for _, s := range servers {
+			server := s.make()
+			clock := &sim.Clock{}
+			opts := nfs.MountOptions{}
+			if server.OS().NFS.RequiresPrivPort && !c.NFS.SendsPrivPort {
+				opts.ResvPort = true // the §11 workaround
+			}
+			mount, err := nfs.NewMount(clock, c, server, netstack.Ethernet10(), opts)
+			if err != nil {
+				fmt.Printf(" %16s", "mount error")
+				continue
+			}
+			res := bench.MABOn(clock, mount, c, bench.DefaultMAB())
+			fmt.Printf(" %16.2f", res.Total.Seconds())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Paper landmarks: Table 6 (Linux server) F 53.24 / L 57.73 / S 58.38;")
+	fmt.Println("Table 7 (SunOS server) F 67.60 / S 87.94 / L 115.06.")
+	fmt.Println()
+	fmt.Println("Note how every client slows on the spec-compliant synchronous servers")
+	fmt.Println("(SunOS, FreeBSD, Solaris columns) and how the Linux client collapses")
+	fmt.Println("against all of them: 1 KB-class foreign transfers, no pipelining, no")
+	fmt.Println("client-side caching.")
+}

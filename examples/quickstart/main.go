@@ -1,0 +1,32 @@
+// Quickstart: run the paper's headline tables and one figure on the
+// simulated Pentium and print them in the paper's format.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	cfg := core.DefaultConfig() // Linux 1.2.8, FreeBSD 2.0.5R, Solaris 2.4; 20 runs
+
+	fmt.Println("Reproducing Lai & Baker (USENIX '96) on the simulated Pentium P54C-100.")
+	fmt.Println()
+
+	for _, id := range []string{"T2", "T4", "T5", "F12"} {
+		exp, ok := core.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "missing experiment %s\n", id)
+			os.Exit(1)
+		}
+		report.Render(os.Stdout, exp.Run(cfg))
+		fmt.Println()
+	}
+
+	fmt.Println("Run `go run ./cmd/pentiumbench run all` for every table and figure.")
+}

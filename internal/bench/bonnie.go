@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"repro/internal/fs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// BonnieResult holds one bonnie invocation's three measurements
+// (Figures 9, 10, 11).
+type BonnieResult struct {
+	// FileMB is the file size benchmarked.
+	FileMB int
+	// WriteMBs is sequential write bandwidth in MB/s.
+	WriteMBs float64
+	// ReadMBs is sequential read bandwidth in MB/s.
+	ReadMBs float64
+	// SeeksPerSec is random seek-read-write operations per second.
+	SeeksPerSec float64
+}
+
+// bonnieSeeks is the number of random seeks bonnie performs. (Tim Bray's
+// bonnie does 4000 over the file, in chunks.)
+const bonnieSeeks = 1200
+
+// bonnieChunk is bonnie's I/O unit: 8 KB blocks.
+const bonnieChunk = int64(8 << 10)
+
+// Bonnie runs the bonnie workload at one file size, per §7.1: create and
+// sequentially write the file, read it back sequentially, then seek to
+// random blocks, read the 8 KB block and write it out. A fresh file
+// system is used per invocation, as the paper did per benchmark.
+func Bonnie(plat Platform, p *osprofile.Profile, fileMB int, seed uint64) BonnieResult {
+	return BonnieWithCache(plat, p, fileMB, seed, 0)
+}
+
+// BonnieWithCache is Bonnie with an explicit buffer-cache budget in bytes
+// (0 uses the personality's default). The A7 ablation computes budgets
+// from a vm.Pool under varying memory pressure.
+func BonnieWithCache(plat Platform, p *osprofile.Profile, fileMB int, seed uint64, cacheBudget int64) BonnieResult {
+	if fileMB <= 0 {
+		panic("bench: bonnie file size must be positive")
+	}
+	clock := &sim.Clock{}
+	rng := sim.NewRNG(seed)
+	d := plat.Disk(rng.Fork(1))
+	fsys := fs.New(clock, d, p)
+	if cacheBudget > 0 {
+		fsys.SetCacheBudget(cacheBudget)
+	}
+	size := int64(fileMB) << 20
+
+	res := BonnieResult{FileMB: fileMB}
+
+	// Phase 1: sequential write.
+	start := clock.Now()
+	f, err := fsys.Create("/bonnie.scratch")
+	if err != nil {
+		panic(err)
+	}
+	for off := int64(0); off < size; off += bonnieChunk {
+		f.Write(bonnieChunk)
+	}
+	f.Close()
+	elapsed := clock.Now().Sub(start)
+	res.WriteMBs = float64(size) / elapsed.Seconds() / 1e6
+
+	// Phase 2: sequential read.
+	g, err := fsys.Open("/bonnie.scratch")
+	if err != nil {
+		panic(err)
+	}
+	start = clock.Now()
+	for off := int64(0); off < size; off += bonnieChunk {
+		g.Read(bonnieChunk)
+	}
+	elapsed = clock.Now().Sub(start)
+	res.ReadMBs = float64(size) / elapsed.Seconds() / 1e6
+
+	// Phase 3: random seeks; each reads the block and writes it out.
+	seekRNG := rng.Fork(2)
+	blocks := size / bonnieChunk
+	start = clock.Now()
+	for i := 0; i < bonnieSeeks; i++ {
+		blk := seekRNG.Int63n(blocks)
+		off := blk * bonnieChunk
+		g.ReadAt(off, bonnieChunk)
+		g.WriteAt(off, bonnieChunk)
+	}
+	elapsed = clock.Now().Sub(start)
+	g.Close()
+	res.SeeksPerSec = float64(bonnieSeeks) / elapsed.Seconds()
+	return res
+}
+
+// BonnieSweepSizes returns the paper's file-size sweep: "from two to 100
+// megabytes" on a log scale.
+func BonnieSweepSizes() []int {
+	return []int{2, 4, 8, 12, 16, 20, 24, 32, 48, 64, 100}
+}

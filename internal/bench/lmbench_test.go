@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+func TestSelfPipeSolarisEightyMicroseconds(t *testing.T) {
+	// §5: "We measured the overhead of sending a byte from a process,
+	// through a pipe, and back to the same process. This took 80
+	// microseconds." This is a calibration cross-check, not a fit: the
+	// value emerges from the syscall model.
+	got := SelfPipe(plat, osprofile.Solaris24()).Microseconds()
+	if got < 76 || got > 84 {
+		t.Errorf("Solaris self-pipe = %.1f µs, want ~80 (§5)", got)
+	}
+}
+
+func TestSelfPipeOrdering(t *testing.T) {
+	l := SelfPipe(plat, osprofile.Linux128())
+	f := SelfPipe(plat, osprofile.FreeBSD205())
+	s := SelfPipe(plat, osprofile.Solaris24())
+	if !(l < f && f < s) {
+		t.Errorf("self-pipe ordering wrong: %v %v %v", l, f, s)
+	}
+	// No context switch is involved, so the self-pipe must be far below
+	// the two-process round trip everywhere.
+	if l >= LatPipe(plat, osprofile.Linux128()) {
+		t.Error("self-pipe should be cheaper than a two-process round trip")
+	}
+}
+
+func TestLatPipeRoundTrip(t *testing.T) {
+	// A round trip is two hops; LatPipe should be roughly twice the ctx
+	// per-switch time at two processes.
+	for _, p := range osprofile.Paper() {
+		rt := LatPipe(plat, p).Microseconds()
+		hop := Ctx(plat, p, 2, CtxRing).Microseconds()
+		if rt < 1.6*hop || rt > 2.4*hop {
+			t.Errorf("%s: pipe RT %.1f µs vs ctx hop %.1f µs; want ~2x", p, rt, hop)
+		}
+	}
+}
+
+func TestLatProc(t *testing.T) {
+	for _, p := range osprofile.Paper() {
+		fork := LatProc(plat, p, false)
+		forkExec := LatProc(plat, p, true)
+		if fork <= 0 || forkExec <= fork {
+			t.Errorf("%s: fork %v, fork+exec %v", p, fork, forkExec)
+		}
+	}
+	// Solaris process creation is the most expensive (drives its MAB
+	// compile-phase deficit).
+	if LatProc(plat, osprofile.Solaris24(), true) <= LatProc(plat, osprofile.FreeBSD205(), true) {
+		t.Error("Solaris fork+exec should be the slowest")
+	}
+}
+
+func TestLatFSCreateMirrorsMetadataPolicy(t *testing.T) {
+	l := LatFSCreate(plat, osprofile.Linux128(), 7)
+	f := LatFSCreate(plat, osprofile.FreeBSD205(), 7)
+	if l > 2*sim.Millisecond {
+		t.Errorf("ext2 0-byte create/delete = %v, want well under a disk op", l)
+	}
+	if f < 10*l {
+		t.Errorf("FFS create/delete %v should dwarf ext2's %v", f, l)
+	}
+}
+
+func TestLatenciesReportComplete(t *testing.T) {
+	r := Latencies(plat, osprofile.FreeBSD205(), 7)
+	if r.OS != "FreeBSD 2.0.5R" {
+		t.Errorf("OS = %q", r.OS)
+	}
+	for name, d := range map[string]sim.Duration{
+		"Syscall": r.Syscall, "SelfPipe": r.SelfPipe, "PipeRT": r.PipeRT,
+		"Fork": r.Fork, "ForkExec": r.ForkExec, "FSCreate": r.FSCreate,
+		"CtxTwoProc": r.CtxTwoProc,
+	} {
+		if d <= 0 {
+			t.Errorf("%s not measured", name)
+		}
+	}
+}

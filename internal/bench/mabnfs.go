@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"repro/internal/disk"
+	"repro/internal/netstack"
+	"repro/internal/nfs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// SunServerDisk returns the geometry modelled for the SunOS 4.1.4 file
+// server's drive: an older, slower SCSI disk than the Pentium's (the
+// paper does not describe the server hardware; a first-generation Sun
+// 1 GB drive is representative).
+func SunServerDisk() disk.Geometry {
+	return disk.Geometry{
+		Name:               "Sun 1.05GB (NFS server)",
+		CapacityMB:         1050,
+		Cylinders:          2500,
+		RPM:                4400,
+		TrackToTrack:       1500 * sim.Microsecond,
+		AvgSeek:            12 * sim.Millisecond,
+		TransferMBs:        2.5,
+		ControllerOverhead: 500 * sim.Microsecond,
+	}
+}
+
+// NFSServerKind selects the file server of §10.
+type NFSServerKind int
+
+const (
+	// ServerLinux is the Linux 1.2.8 server (Table 6), which answers
+	// from its cache.
+	ServerLinux NFSServerKind = iota
+	// ServerSunOS is the SunOS 4.1.4 server (Table 7), which commits
+	// synchronously per the NFS spec.
+	ServerSunOS
+)
+
+// NewNFSServer builds the chosen server machine.
+func NewNFSServer(kind NFSServerKind, seed uint64) *nfs.Server {
+	switch kind {
+	case ServerLinux:
+		return nfs.NewServer(osprofile.Linux128(), disk.QuantumEmpire2100(), seed)
+	case ServerSunOS:
+		return nfs.NewServer(osprofile.SunOS414(), SunServerDisk(), seed)
+	}
+	panic("bench: unknown NFS server kind")
+}
+
+// MABNFS runs the Modified Andrew Benchmark with the given OS as the NFS
+// client against the chosen server (Tables 6 and 7). FreeBSD clients
+// mount with the reserved-port option when the server is Linux, working
+// around the §11 quirk exactly as the authors had to.
+func MABNFS(p *osprofile.Profile, kind NFSServerKind, cfg MABConfig, seed uint64) MABResult {
+	clock := &sim.Clock{}
+	server := NewNFSServer(kind, seed)
+	opts := nfs.MountOptions{}
+	if server.OS().NFS.RequiresPrivPort && !p.NFS.SendsPrivPort {
+		opts.ResvPort = true
+	}
+	mount, err := nfs.NewMount(clock, p, server, netstack.Ethernet10(), opts)
+	if err != nil {
+		panic(err)
+	}
+	return MABOn(clock, mount, p, cfg)
+}

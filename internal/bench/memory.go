@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"repro/internal/cache"
+	"repro/internal/memmodel"
+)
+
+// MemPoint is one point of a §6 memory figure.
+type MemPoint struct {
+	// Size is the buffer size in bytes.
+	Size int
+	// MBs is the achieved bandwidth in megabytes per second.
+	MBs float64
+}
+
+// MemSweepSizes returns the buffer sizes the memory benchmarks sweep:
+// four points per octave from 64 bytes to 8 MB, plus ragged sizes (2^k-1)
+// at the low end that land 15 bytes in the tail loop and reproduce the
+// §6.4 dips.
+func MemSweepSizes() []int {
+	var sizes []int
+	for base := 64; base <= 4<<20; base *= 2 {
+		for _, num := range []int{4, 5, 6, 7} {
+			s := base / 4 * num
+			sizes = append(sizes, s)
+		}
+	}
+	sizes = append(sizes, 8<<20)
+	for k := 7; k <= 12; k++ {
+		sizes = append(sizes, 1<<k-1)
+	}
+	// Keep ascending order for plotting.
+	insertionSort(sizes)
+	return sizes
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// MemFigure runs one §6 routine across the sweep on a fresh Pentium
+// hierarchy and returns the bandwidth curve. The cfg parameter lets the
+// A1 (write-allocate) ablation substitute a hypothetical cache.
+func MemFigure(plat Platform, cfg cache.Config, r memmodel.Routine, sizes []int) []MemPoint {
+	out := make([]MemPoint, 0, len(sizes))
+	for _, s := range sizes {
+		m := memmodel.NewModel(plat.CPU, cfg)
+		out = append(out, MemPoint{Size: s, MBs: m.Bandwidth(r, s)})
+	}
+	return out
+}
+
+// MemFigureDistance is MemFigure with an explicit prefetch distance, for
+// the A2 ablation.
+func MemFigureDistance(plat Platform, cfg cache.Config, r memmodel.Routine, sizes []int, dist int) []MemPoint {
+	out := make([]MemPoint, 0, len(sizes))
+	for _, s := range sizes {
+		m := memmodel.NewModel(plat.CPU, cfg)
+		m.PrefetchDistance = dist
+		out = append(out, MemPoint{Size: s, MBs: m.Bandwidth(r, s)})
+	}
+	return out
+}

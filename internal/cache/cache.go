@@ -1,0 +1,456 @@
+// Package cache simulates the Pentium P54C's two-level cache hierarchy.
+//
+// The paper's central memory-system finding (§6) is that the P54C has no
+// write-allocate cache: a write that misses does not bring the line into the
+// cache, so it travels to the next level of the hierarchy as an individual
+// bus transaction. Reads, by contrast, allocate lines normally. This package
+// implements exactly that mechanism with set-associative, write-back,
+// LRU-replacement L1 and L2 caches in an inclusive hierarchy, and charges a
+// calibrated cycle cost for every access. The memory-routine models in
+// package memmodel run on top of it, and the paper's Figures 2 through 8 —
+// the 8 KB and 256 KB plateaus, the flat sub-50 MB/s memset curve, and the
+// dramatic effect of software prefetching — all emerge from this model.
+package cache
+
+import "fmt"
+
+// WordSize is the access granularity of the memory routines, in bytes.
+const WordSize = 4
+
+// Timing holds the cycle costs charged for each kind of access. The defaults
+// in PentiumTiming are calibrated so the sweep plateaus land where the paper
+// measured them (≈300 MB/s from L1, ≈110 MB/s from L2, ≈75 MB/s from memory
+// for reads; ≈45 MB/s for non-allocated writes).
+type Timing struct {
+	// WordHit is the cost of a 4-byte load that hits in L1.
+	WordHit float64
+	// WordWriteHit is the cost of a 4-byte store that hits in L1. Stores
+	// pair slightly better than loads in the P54C's U/V pipes.
+	WordWriteHit float64
+	// ByteOp is the cost of a 1-byte load or store that hits in L1. The
+	// benchmarks' tail loops process leftover bytes one at a time, and this
+	// (deliberately inefficient) cost reproduces the §6.4 dips.
+	ByteOp float64
+	// L2WordAccess is the cost of a word store serviced by L2 when the line
+	// is present in L2 but not in L1 (writes do not promote to L1).
+	L2WordAccess float64
+	// L1FillFromL2 is the cost to fill a line into L1 from L2.
+	L1FillFromL2 float64
+	// FillFromMem is the additional cost when the fill must come from main
+	// memory rather than L2.
+	FillFromMem float64
+	// MemWordWrite is the cost of a 4-byte write that misses both caches
+	// and becomes an individual bus transaction (no write-allocate).
+	MemWordWrite float64
+	// MemByteWrite is the cost of a 1-byte write that misses both caches.
+	MemByteWrite float64
+	// L1WriteBack is the cost of writing a dirty L1 line back into L2.
+	L1WriteBack float64
+	// L2WriteBack is the cost of bursting a dirty L2 line to memory.
+	L2WriteBack float64
+	// PrefetchIssue is the cost of issuing one software-prefetch touch
+	// (a load whose value is discarded) when the line already resides in L1.
+	PrefetchIssue float64
+}
+
+// PentiumTiming returns the calibrated timing for the paper's 100 MHz P54C.
+func PentiumTiming() Timing {
+	return Timing{
+		WordHit:       1.0,
+		WordWriteHit:  0.85,
+		ByteOp:        2.5,
+		L2WordAccess:  2.0,
+		L1FillFromL2:  18.4,
+		FillFromMem:   13.6,
+		MemWordWrite:  8.5,
+		MemByteWrite:  8.5,
+		L1WriteBack:   4.0,
+		L2WriteBack:   16.0,
+		PrefetchIssue: 0.8,
+	}
+}
+
+// Config describes a two-level hierarchy.
+type Config struct {
+	// LineSize is the cache line size in bytes (32 on the P54C).
+	LineSize int
+	// L1Size and L1Assoc describe the L1 data cache (8 KB, 2-way).
+	L1Size, L1Assoc int
+	// L2Size and L2Assoc describe the L2 cache (256 KB on the paper's
+	// board; modelled 2-way to avoid pathological conflict artefacts that
+	// the real benchmarks' allocator layout avoided).
+	L2Size, L2Assoc int
+	// WriteAllocate selects the write-miss policy. False on the P54C; the
+	// write-allocate ablation (DESIGN.md A1) sets it true.
+	WriteAllocate bool
+	// Timing is the cycle-cost table.
+	Timing Timing
+}
+
+// PentiumConfig returns the paper platform's hierarchy: 8 KB 2-way L1,
+// 256 KB L2, 32-byte lines, no write-allocate.
+func PentiumConfig() Config {
+	return Config{
+		LineSize:      32,
+		L1Size:        8 << 10,
+		L1Assoc:       2,
+		L2Size:        256 << 10,
+		L2Assoc:       2,
+		WriteAllocate: false,
+		Timing:        PentiumTiming(),
+	}
+}
+
+// Stats counts the traffic observed at each level.
+type Stats struct {
+	L1Hits, L1Misses     uint64
+	L2Hits, L2Misses     uint64
+	MemWordWrites        uint64 // non-allocated word/byte writes to memory
+	L1WriteBacks         uint64 // dirty L1 lines pushed to L2
+	L2WriteBacks         uint64 // dirty L2 lines pushed to memory
+	PrefetchesIssued     uint64
+	PrefetchesUseful     uint64 // prefetches that actually filled a line
+	LinesFilledFromL2    uint64
+	LinesFilledFromMem   uint64
+	BytesRead, BytesWrit uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	use   uint64 // LRU timestamp
+}
+
+// level is one set-associative, write-back cache array.
+type level struct {
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	lineSize int
+	tick     uint64
+}
+
+func newLevel(size, assoc, lineSize int) *level {
+	if size <= 0 || assoc <= 0 || lineSize <= 0 {
+		panic("cache: sizes and associativity must be positive")
+	}
+	if size%(assoc*lineSize) != 0 {
+		panic(fmt.Sprintf("cache: size %d not divisible by assoc*line (%d*%d)", size, assoc, lineSize))
+	}
+	nsets := size / (assoc * lineSize)
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a power of two", nsets))
+	}
+	shift := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	lv := &level{
+		sets:     make([][]line, nsets),
+		setShift: shift,
+		setMask:  uint64(nsets - 1),
+		lineSize: lineSize,
+	}
+	for i := range lv.sets {
+		lv.sets[i] = make([]line, assoc)
+	}
+	return lv
+}
+
+func (lv *level) lineAddr(addr uint64) uint64 { return addr >> lv.setShift }
+
+// lookup finds the line containing addr. It returns the way or nil.
+func (lv *level) lookup(addr uint64) *line {
+	la := lv.lineAddr(addr)
+	set := lv.sets[la&lv.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			lv.tick++
+			set[i].use = lv.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert places the line containing addr into the cache, returning the
+// victim line's (tag, dirty) if a valid line was evicted.
+func (lv *level) insert(addr uint64) (victimTag uint64, victimDirty, evicted bool) {
+	la := lv.lineAddr(addr)
+	set := lv.sets[la&lv.setMask]
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].use < victim.use {
+			victim = &set[i]
+		}
+	}
+	victimTag, victimDirty, evicted = victim.tag, victim.dirty, victim.valid
+	lv.tick++
+	*victim = line{tag: la, valid: true, use: lv.tick}
+	return victimTag, victimDirty, evicted
+}
+
+// invalidate drops the line containing the given line address, reporting
+// whether it was present and dirty.
+func (lv *level) invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
+	set := lv.sets[lineAddr&lv.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			wasDirty = set[i].dirty
+			set[i] = line{}
+			return wasDirty, true
+		}
+	}
+	return false, false
+}
+
+func (lv *level) flush() {
+	for i := range lv.sets {
+		for j := range lv.sets[i] {
+			lv.sets[i][j] = line{}
+		}
+	}
+}
+
+// Hierarchy is the full two-level cache model. It accumulates a cycle count
+// as accesses are simulated; callers read and reset the counter.
+//
+// Hierarchy is not safe for concurrent use.
+type Hierarchy struct {
+	cfg    Config
+	l1, l2 *level
+	cycles float64
+	stats  Stats
+}
+
+// New builds a hierarchy from cfg. It panics on invalid geometry, since a
+// malformed machine description is a programming error.
+func New(cfg Config) *Hierarchy {
+	if cfg.L1Size >= cfg.L2Size {
+		panic("cache: L1 must be smaller than L2")
+	}
+	return &Hierarchy{
+		cfg: cfg,
+		l1:  newLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+		l2:  newLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Cycles returns the cycles consumed since the last ResetCycles.
+func (h *Hierarchy) Cycles() float64 { return h.cycles }
+
+// ResetCycles zeroes the cycle counter (statistics are kept).
+func (h *Hierarchy) ResetCycles() { h.cycles = 0 }
+
+// AddCycles charges extra cycles against the hierarchy's ledger. Callers
+// use it for loop and ALU overhead that accompanies the memory accesses.
+func (h *Hierarchy) AddCycles(c float64) {
+	if c < 0 {
+		panic("cache: negative cycle charge")
+	}
+	h.cycles += c
+}
+
+// Stats returns a copy of the traffic counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the traffic counters.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// Flush invalidates every line in both levels without writing anything back,
+// modelling a cold start.
+func (h *Hierarchy) Flush() {
+	h.l1.flush()
+	h.l2.flush()
+}
+
+// fill brings the line containing addr into L1 (and L2, maintaining
+// inclusion), charging fill and write-back costs. It assumes the line is not
+// already in L1.
+func (h *Hierarchy) fill(addr uint64) {
+	t := &h.cfg.Timing
+	if h.l2.lookup(addr) != nil {
+		h.stats.L2Hits++
+		h.cycles += t.L1FillFromL2
+		h.stats.LinesFilledFromL2++
+	} else {
+		h.stats.L2Misses++
+		h.cycles += t.L1FillFromL2 + t.FillFromMem
+		h.stats.LinesFilledFromMem++
+		// Allocate in L2 (inclusive hierarchy).
+		vt, vd, ev := h.l2.insert(addr)
+		if ev {
+			// Maintain inclusion: the victim must leave L1 too.
+			l1dirty, present := h.l1.invalidate(vt)
+			if present && l1dirty {
+				vd = true
+			}
+			if vd {
+				h.cycles += t.L2WriteBack
+				h.stats.L2WriteBacks++
+			}
+		}
+	}
+	vt, vd, ev := h.l1.insert(addr)
+	if ev && vd {
+		// Dirty L1 victim goes down to L2; mark the L2 copy dirty.
+		h.cycles += t.L1WriteBack
+		h.stats.L1WriteBacks++
+		if l2line := h.l2.lookup(vt << h.l2.setShift); l2line != nil {
+			l2line.dirty = true
+		} else {
+			// Inclusion was broken by an L2 eviction between the L1 fill
+			// and now; burst the line to memory.
+			h.cycles += t.L2WriteBack
+			h.stats.L2WriteBacks++
+		}
+	}
+}
+
+// ReadWords simulates n consecutive 4-byte loads starting at addr.
+func (h *Hierarchy) ReadWords(addr uint64, n int) {
+	t := &h.cfg.Timing
+	h.stats.BytesRead += uint64(n) * WordSize
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)*WordSize
+		h.cycles += t.WordHit
+		if h.l1.lookup(a) != nil {
+			h.stats.L1Hits++
+			continue
+		}
+		h.stats.L1Misses++
+		h.fill(a)
+	}
+}
+
+// WriteWords simulates n consecutive 4-byte stores starting at addr.
+func (h *Hierarchy) WriteWords(addr uint64, n int) {
+	t := &h.cfg.Timing
+	h.stats.BytesWrit += uint64(n) * WordSize
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)*WordSize
+		if l := h.l1.lookup(a); l != nil {
+			h.stats.L1Hits++
+			h.cycles += t.WordWriteHit
+			l.dirty = true
+			continue
+		}
+		h.stats.L1Misses++
+		if h.cfg.WriteAllocate {
+			// Write-allocate: fill the line, then the store hits.
+			h.fill(a)
+			h.cycles += t.WordWriteHit
+			if l := h.l1.lookup(a); l != nil {
+				l.dirty = true
+			}
+			continue
+		}
+		// No write-allocate: the store bypasses L1. It may still hit L2.
+		if l2 := h.l2.lookup(a); l2 != nil {
+			h.stats.L2Hits++
+			h.cycles += t.L2WordAccess
+			l2.dirty = true
+			continue
+		}
+		h.stats.L2Misses++
+		h.cycles += t.MemWordWrite
+		h.stats.MemWordWrites++
+	}
+}
+
+// ReadBytes simulates n consecutive 1-byte loads starting at addr (the
+// benchmarks' tail loop).
+func (h *Hierarchy) ReadBytes(addr uint64, n int) {
+	t := &h.cfg.Timing
+	h.stats.BytesRead += uint64(n)
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)
+		h.cycles += t.ByteOp
+		if h.l1.lookup(a) != nil {
+			h.stats.L1Hits++
+			continue
+		}
+		h.stats.L1Misses++
+		h.fill(a)
+	}
+}
+
+// WriteBytes simulates n consecutive 1-byte stores starting at addr.
+func (h *Hierarchy) WriteBytes(addr uint64, n int) {
+	t := &h.cfg.Timing
+	h.stats.BytesWrit += uint64(n)
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)
+		if l := h.l1.lookup(a); l != nil {
+			h.stats.L1Hits++
+			h.cycles += t.ByteOp
+			l.dirty = true
+			continue
+		}
+		h.stats.L1Misses++
+		if h.cfg.WriteAllocate {
+			h.fill(a)
+			h.cycles += t.ByteOp
+			if l := h.l1.lookup(a); l != nil {
+				l.dirty = true
+			}
+			continue
+		}
+		if l2 := h.l2.lookup(a); l2 != nil {
+			h.stats.L2Hits++
+			h.cycles += t.L2WordAccess
+			l2.dirty = true
+			continue
+		}
+		h.stats.L2Misses++
+		h.cycles += t.MemByteWrite
+		h.stats.MemWordWrites++
+	}
+}
+
+// Prefetch simulates a software prefetch: a load that touches one byte of
+// the line containing addr purely to force allocation. On the P54C this is
+// an ordinary load instruction whose result is discarded.
+func (h *Hierarchy) Prefetch(addr uint64) {
+	h.stats.PrefetchesIssued++
+	h.cycles += h.cfg.Timing.PrefetchIssue
+	if h.l1.lookup(addr) != nil {
+		h.stats.L1Hits++
+		return
+	}
+	h.stats.L1Misses++
+	h.stats.PrefetchesUseful++
+	h.fill(addr)
+}
+
+// Contains reports at which level the line holding addr currently resides:
+// 1, 2, or 0 when it is only in memory. Exposed for tests and diagnostics.
+func (h *Hierarchy) Contains(addr uint64) int {
+	// Peek without disturbing LRU: scan directly.
+	if h.peek(h.l1, addr) {
+		return 1
+	}
+	if h.peek(h.l2, addr) {
+		return 2
+	}
+	return 0
+}
+
+func (h *Hierarchy) peek(lv *level, addr uint64) bool {
+	la := lv.lineAddr(addr)
+	set := lv.sets[la&lv.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			return true
+		}
+	}
+	return false
+}

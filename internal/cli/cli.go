@@ -1,0 +1,467 @@
+// Package cli implements the pentiumbench command: parsing, dispatch and
+// rendering live here (with injected output streams) so the whole
+// command-line surface is unit-testable; cmd/pentiumbench is a thin shim.
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/notes"
+	"repro/internal/osprofile"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/validate"
+	"repro/internal/workload"
+)
+
+// App is one command invocation's environment.
+type App struct {
+	// Stdout and Stderr receive the command's output.
+	Stdout, Stderr io.Writer
+	// ReadFile loads a file (replay traces); defaults to os.ReadFile.
+	ReadFile func(string) ([]byte, error)
+	// CreateFile opens a file for writing (svg output); defaults to
+	// os.Create.
+	CreateFile func(string) (io.WriteCloser, error)
+	// MkdirAll creates directories; defaults to os.MkdirAll.
+	MkdirAll func(string, os.FileMode) error
+}
+
+// NewApp returns an App bound to the real environment.
+func NewApp(stdout, stderr io.Writer) *App {
+	return &App{
+		Stdout:   stdout,
+		Stderr:   stderr,
+		ReadFile: os.ReadFile,
+		CreateFile: func(path string) (io.WriteCloser, error) {
+			return os.Create(path)
+		},
+		MkdirAll: os.MkdirAll,
+	}
+}
+
+// Execute runs the command line and returns the process exit code.
+func (a *App) Execute(args []string) int {
+	fl := flag.NewFlagSet("pentiumbench", flag.ContinueOnError)
+	fl.SetOutput(a.Stderr)
+	seed := fl.Uint64("seed", 1, "master RNG seed")
+	runs := fl.Int("runs", 20, "benchmark repetitions (paper: 20)")
+	future := fl.Bool("future", false, "include the §13 future-work systems")
+	outDir := fl.String("out", "figures", "svg: output directory")
+	eps := fl.Float64("eps", 0.15, "sensitivity: relative perturbation of calibrated constants")
+	trials := fl.Int("trials", 5, "sensitivity: perturbed replicas")
+	profilesFile := fl.String("profiles", "", "JSON file with extra OS personalities to benchmark")
+	fl.Usage = func() { a.usage(fl) }
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Runs = *runs
+	if *future {
+		cfg.Profiles = append(cfg.Profiles,
+			osprofile.Linux1340(), osprofile.FreeBSD21(), osprofile.Solaris25())
+	}
+	if *profilesFile != "" {
+		data, err := a.ReadFile(*profilesFile)
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 2
+		}
+		extra, err := osprofile.LoadJSON(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 2
+		}
+		cfg.Profiles = append(cfg.Profiles, extra...)
+	}
+
+	rest := fl.Args()
+	if len(rest) == 0 {
+		a.usage(fl)
+		return 2
+	}
+	switch rest[0] {
+	case "list":
+		a.list()
+		return 0
+	case "run":
+		return a.run(cfg, rest[1:], false)
+	case "csv":
+		return a.run(cfg, rest[1:], true)
+	case "svg":
+		return a.svg(cfg, rest[1:], *outDir)
+	case "experiments":
+		a.experiments(cfg)
+		return 0
+	case "html":
+		a.html(cfg)
+		return 0
+	case "check":
+		return a.check(cfg)
+	case "sensitivity":
+		a.sensitivity(cfg, *eps, *trials)
+		return 0
+	case "replay":
+		return a.replay(cfg, rest[1:])
+	case "latency":
+		a.latency(cfg)
+		return 0
+	case "trace":
+		a.trace(cfg)
+		return 0
+	case "notes":
+		a.notes()
+		return 0
+	case "platform":
+		a.platform()
+		return 0
+	case "profiles":
+		return a.profiles()
+	default:
+		fmt.Fprintf(a.Stderr, "pentiumbench: unknown command %q\n\n", rest[0])
+		a.usage(fl)
+		return 2
+	}
+}
+
+func (a *App) usage(fl *flag.FlagSet) {
+	fmt.Fprintln(a.Stderr, `usage: pentiumbench [flags] <command>
+
+commands:
+  list            show all experiments (tables, figures, ablations)
+  run <ids|all>   run experiments and render results
+  csv <ids|all>   run experiments and emit CSV
+  svg <ids|all>   run experiments and write SVG figures (-out dir)
+  experiments     run everything and emit the EXPERIMENTS.md body
+  html            run everything and emit a self-contained HTML report
+  check           evaluate every paper claim against the simulation
+  sensitivity     re-check claims under perturbed calibration (-eps, -trials)
+  replay <trace>  time a workload trace (builtin name or file) on every system
+  latency         lmbench-style latency probes for every system
+  trace           annotated kernel timeline of one token-ring lap per system
+  profiles        dump the built-in OS personalities as JSON (a template
+                  for -profiles)
+  notes           the paper's §11 installation/porting observations
+  platform        describe the modelled hardware and systems
+
+flags:`)
+	fl.PrintDefaults()
+}
+
+func (a *App) list() {
+	fmt.Fprintln(a.Stdout, "Experiments (paper exhibits first, then ablations):")
+	for _, e := range core.All() {
+		kind := "figure"
+		if e.Kind == core.Table {
+			kind = "table "
+		}
+		fmt.Fprintf(a.Stdout, "  %-4s %s  %-55s (%s)\n", e.ID, kind, e.Title, e.Paper)
+	}
+}
+
+// resolve maps ids (or "all") to experiments, reporting unknowns.
+func (a *App) resolve(ids []string) ([]*core.Experiment, bool) {
+	if len(ids) == 1 && ids[0] == "all" {
+		return core.All(), true
+	}
+	var exps []*core.Experiment
+	for _, id := range ids {
+		e, ok := core.Lookup(id)
+		if !ok {
+			fmt.Fprintf(a.Stderr, "pentiumbench: unknown experiment %q (try 'list')\n", id)
+			return nil, false
+		}
+		exps = append(exps, e)
+	}
+	return exps, true
+}
+
+func (a *App) run(cfg core.Config, ids []string, csv bool) int {
+	if len(ids) == 0 {
+		fmt.Fprintln(a.Stderr, "pentiumbench: run/csv needs experiment ids or 'all'")
+		return 2
+	}
+	exps, ok := a.resolve(ids)
+	if !ok {
+		return 2
+	}
+	for i, e := range exps {
+		res := e.Run(cfg)
+		if csv {
+			report.CSV(a.Stdout, res)
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(a.Stdout)
+		}
+		report.Render(a.Stdout, res)
+	}
+	return 0
+}
+
+func (a *App) svg(cfg core.Config, ids []string, dir string) int {
+	if len(ids) == 0 {
+		fmt.Fprintln(a.Stderr, "pentiumbench: svg needs experiment ids or 'all'")
+		return 2
+	}
+	exps, ok := a.resolve(ids)
+	if !ok {
+		return 2
+	}
+	if err := a.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+		return 1
+	}
+	for _, e := range exps {
+		res := e.Run(cfg)
+		path := fmt.Sprintf("%s/%s.svg", dir, e.ID)
+		f, err := a.CreateFile(path)
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 1
+		}
+		report.SVG(f, res)
+		f.Close()
+		fmt.Fprintln(a.Stdout, "wrote", path)
+	}
+	return 0
+}
+
+func (a *App) experiments(cfg core.Config) {
+	var results []*core.Result
+	for _, e := range core.All() {
+		results = append(results, e.Run(cfg))
+	}
+	report.Markdown(a.Stdout, results)
+	report.MarkdownClaims(a.Stdout, claimLines(cfg))
+}
+
+// claimLines evaluates the paper claims for the experiments report.
+func claimLines(cfg core.Config) []report.ClaimLine {
+	var lines []report.ClaimLine
+	for _, o := range validate.RunAll(cfg) {
+		l := report.ClaimLine{
+			ID:        o.Claim.ID,
+			Exhibit:   o.Claim.Exhibit,
+			Statement: o.Claim.Statement,
+			Passed:    o.Passed(),
+		}
+		if o.Err != nil {
+			l.Err = o.Err.Error()
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+func (a *App) html(cfg core.Config) {
+	var results []*core.Result
+	for _, e := range core.All() {
+		results = append(results, e.Run(cfg))
+	}
+	report.HTML(a.Stdout, results)
+}
+
+func (a *App) check(cfg core.Config) int {
+	outcomes := validate.RunAll(cfg)
+	failed := 0
+	fmt.Fprintf(a.Stdout, "Checking %d paper claims against the simulation:\n\n", len(outcomes))
+	for _, o := range outcomes {
+		status := "PASS"
+		if !o.Passed() {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(a.Stdout, "  [%s] %-4s (%s) %s\n", status, o.Claim.ID, o.Claim.Exhibit, o.Claim.Statement)
+		if o.Err != nil {
+			fmt.Fprintf(a.Stdout, "         %v\n", o.Err)
+		}
+	}
+	fmt.Fprintf(a.Stdout, "\n%d/%d claims hold.\n", len(outcomes)-failed, len(outcomes))
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func (a *App) sensitivity(cfg core.Config, eps float64, trials int) {
+	fmt.Fprintf(a.Stdout, "Re-checking every claim across %d replicas with all calibrated\n", trials)
+	fmt.Fprintf(a.Stdout, "constants independently perturbed by ±%.0f%%. Structural choices (the\n", 100*eps)
+	fmt.Fprintln(a.Stdout, "scheduler kinds, metadata policies, TCP windows, transfer sizes) come")
+	fmt.Fprintln(a.Stdout, "from the paper's text and stay fixed.")
+	fmt.Fprintln(a.Stdout)
+	rob := validate.Sensitivity(cfg, eps, trials)
+	fragile := 0
+	for _, r := range rob {
+		mark := "robust "
+		if !r.Robust() {
+			mark = fmt.Sprintf("%d/%d   ", r.Passes, r.Trials)
+			fragile++
+		}
+		fmt.Fprintf(a.Stdout, "  [%s] %-4s %s\n", mark, r.Claim.ID, r.Claim.Statement)
+		if r.FirstFailure != nil {
+			fmt.Fprintf(a.Stdout, "            e.g. %v\n", r.FirstFailure)
+		}
+	}
+	fmt.Fprintf(a.Stdout, "\n%d/%d claims survive every perturbed replica.\n", len(rob)-fragile, len(rob))
+}
+
+func (a *App) replay(cfg core.Config, args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintf(a.Stderr, "pentiumbench: replay needs a trace (builtin: %v, or a file path)\n",
+			workload.BuiltinNames())
+		return 2
+	}
+	tr, err := workload.Builtin(args[0])
+	if err != nil {
+		text, ferr := a.ReadFile(args[0])
+		if ferr != nil {
+			fmt.Fprintf(a.Stderr, "pentiumbench: %v; and no such file: %v\n", err, ferr)
+			return 2
+		}
+		tr, err = workload.Parse(args[0], string(text))
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 2
+		}
+	}
+	fmt.Fprintf(a.Stdout, "Replaying trace %q on the modelled systems:\n\n", tr.Name)
+	for _, p := range cfg.Profiles {
+		clock := &sim.Clock{}
+		d := disk.New(disk.HP3725(), sim.NewRNG(cfg.Seed))
+		v := fs.New(clock, d, p).AsVFS()
+		st := workload.Replay(v, tr)
+		fmt.Fprintf(a.Stdout, "  %-24s %10.3f s   (%d ops, %s written, %s read, %d errors)\n",
+			p.String(), clock.Now().Sub(0).Seconds(),
+			st.Ops, mb(st.BytesWritten), mb(st.BytesRead), st.Errors)
+	}
+	return 0
+}
+
+func (a *App) latency(cfg core.Config) {
+	plat := bench.PaperPlatform()
+	fmt.Fprintln(a.Stdout, "lmbench-style latency probes (µs except where noted):")
+	fmt.Fprintln(a.Stdout)
+	fmt.Fprintf(a.Stdout, "  %-24s %9s %9s %9s %9s %10s %12s %9s\n",
+		"system", "syscall", "selfpipe", "pipe RT", "ctx@2", "fork (ms)", "f+exec (ms)", "crt0 (ms)")
+	for _, p := range cfg.Profiles {
+		r := bench.Latencies(plat, p, cfg.Seed)
+		fmt.Fprintf(a.Stdout, "  %-24s %9.2f %9.1f %9.1f %9.1f %10.2f %12.2f %9.2f\n",
+			r.OS,
+			r.Syscall.Microseconds(), r.SelfPipe.Microseconds(),
+			r.PipeRT.Microseconds(), r.CtxTwoProc.Microseconds(),
+			r.Fork.Milliseconds(), r.ForkExec.Milliseconds(),
+			r.FSCreate.Milliseconds())
+	}
+	fmt.Fprintln(a.Stdout)
+	fmt.Fprintln(a.Stdout, "Cross-check: §5 reports the Solaris self-pipe round trip at 80 µs.")
+}
+
+// trace prints an annotated kernel timeline of a short token-ring run on
+// each system — §5's cost decomposition, visible event by event.
+func (a *App) trace(cfg core.Config) {
+	plat := bench.PaperPlatform()
+	for _, p := range cfg.Profiles {
+		fmt.Fprintf(a.Stdout, "%s — one 3-process token-ring lap:\n", p)
+		m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(cfg.Seed))
+		m.EnableTrace(256)
+		pipes := []*kernel.Pipe{m.NewPipe(), m.NewPipe(), m.NewPipe()}
+		for i := 0; i < 3; i++ {
+			i := i
+			m.Spawn(fmt.Sprintf("ring%d", i), func(pr *kernel.Proc) {
+				if i != 0 {
+					pr.ReadFull(pipes[i], 1)
+				}
+				pr.Write(pipes[(i+1)%3], 1)
+				if i == 0 {
+					pr.ReadFull(pipes[0], 1)
+				}
+			})
+		}
+		m.Run()
+		for _, e := range m.TraceEvents() {
+			fmt.Fprintf(a.Stdout, "  %s\n", e)
+		}
+		fmt.Fprintf(a.Stdout, "  total %v across %d switches\n\n",
+			m.Now().Sub(0).Std(), m.Switches())
+	}
+}
+
+func mb(n int64) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	}
+	return fmt.Sprintf("%.0f KB", float64(n)/(1<<10))
+}
+
+func (a *App) notes() {
+	fmt.Fprintln(a.Stdout, "The paper's §11 qualitative findings (data, not measurements):")
+	fmt.Fprintln(a.Stdout)
+	sections := []struct {
+		title string
+		items []notes.Item
+	}{
+		{"Installation experiences", notes.Installation()},
+		{"Porting experiences", notes.Porting()},
+	}
+	for _, sec := range sections {
+		fmt.Fprintln(a.Stdout, sec.title+":")
+		fmt.Fprintf(a.Stdout, "  %-48s %-8s %-8s %-8s\n", "", "Linux", "FreeBSD", "Solaris")
+		for _, it := range sec.items {
+			fmt.Fprintf(a.Stdout, "  %-48s %-8s %-8s %-8s\n", it.Aspect,
+				it.PerOS[0], it.PerOS[1], it.PerOS[2])
+			fmt.Fprintf(a.Stdout, "      %s\n", it.Detail)
+		}
+		fmt.Fprintln(a.Stdout)
+	}
+	fmt.Fprintln(a.Stdout, "Conclusions (§12):")
+	c := notes.Conclusion()
+	for _, k := range []string{"Linux 1.2.8", "FreeBSD 2.0.5R", "Solaris 2.4", "overall"} {
+		fmt.Fprintf(a.Stdout, "  %-16s %s\n", k+":", c[k])
+	}
+}
+
+// profiles dumps every built-in personality as JSON, serving as both
+// calibration documentation and a template for -profiles files.
+func (a *App) profiles() int {
+	if err := osprofile.WriteJSON(a.Stdout, osprofile.All()); err != nil {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+		return 1
+	}
+	return 0
+}
+
+func (a *App) platform() {
+	plat := bench.PaperPlatform()
+	fmt.Fprintln(a.Stdout, "Modelled platform: tnt.stanford.edu (paper §2.2)")
+	fmt.Fprintf(a.Stdout, "  CPU:    %s\n", plat.CPU)
+	fmt.Fprintln(a.Stdout, "  RAM:    32 MB")
+	for _, g := range []disk.Geometry{disk.QuantumEmpire2100(), disk.HP3725()} {
+		fmt.Fprintf(a.Stdout, "  Disk:   %-22s %5d MB  %.0f rpm  avg seek %v  %.1f MB/s\n",
+			g.Name, g.CapacityMB, g.RPM, g.AvgSeek, g.TransferMBs)
+	}
+	fmt.Fprintln(a.Stdout, "  NIC:    3Com Etherlink III 3c509 (10 Mb/s)")
+	fmt.Fprintln(a.Stdout)
+	fmt.Fprintln(a.Stdout, "Disk partitioning (Table 1):")
+	fmt.Fprintln(a.Stdout, "  DOS/Windows 6.2/3.1   250 MB")
+	fmt.Fprintln(a.Stdout, "  Solaris     2.4       700 MB")
+	fmt.Fprintln(a.Stdout, "  FreeBSD     2.0.5R    400 MB")
+	fmt.Fprintln(a.Stdout, "  Linux       1.2.8     600 MB")
+	fmt.Fprintln(a.Stdout)
+	fmt.Fprintln(a.Stdout, "Systems under test:")
+	for _, p := range osprofile.All() {
+		fmt.Fprintf(a.Stdout, "  %-24s %-50s fs=%s sched=%v\n",
+			p.String(), p.Lineage, p.FS.Type, p.Kernel.Scheduler)
+	}
+}

@@ -1,0 +1,353 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// testApp returns an app with captured output and an in-memory
+// filesystem for SVG writes.
+func testApp() (*App, *bytes.Buffer, *bytes.Buffer, map[string]*bytes.Buffer) {
+	var out, errb bytes.Buffer
+	files := map[string]*bytes.Buffer{}
+	a := &App{
+		Stdout: &out,
+		Stderr: &errb,
+		ReadFile: func(path string) ([]byte, error) {
+			if b, ok := files[path]; ok {
+				return b.Bytes(), nil
+			}
+			return nil, fmt.Errorf("no file %s", path)
+		},
+		CreateFile: func(path string) (io.WriteCloser, error) {
+			b := &bytes.Buffer{}
+			files[path] = b
+			return nopCloser{b}, nil
+		},
+		MkdirAll: func(string, os.FileMode) error { return nil },
+	}
+	return a, &out, &errb, files
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute(nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Fatal("usage not shown")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"bogus"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown command") {
+		t.Fatal("error not reported")
+	}
+}
+
+func TestList(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"list"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"T2", "F13", "A6", "table", "figure"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"-runs", "3", "run", "T2"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "System Call") || !strings.Contains(out.String(), "Norm.") {
+		t.Fatalf("run output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"run", "T99"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatal("error not reported")
+	}
+}
+
+func TestRunWithoutIDs(t *testing.T) {
+	a, _, _, _ := testApp()
+	if code := a.Execute([]string{"run"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"-runs", "3", "csv", "T4"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "experiment,series,") {
+		t.Fatalf("csv header missing:\n%.100s", out.String())
+	}
+}
+
+func TestSVGWritesFiles(t *testing.T) {
+	a, out, _, files := testApp()
+	if code := a.Execute([]string{"-runs", "3", "-out", "figs", "svg", "T2", "F3"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, path := range []string{"figs/T2.svg", "figs/F3.svg"} {
+		b, ok := files[path]
+		if !ok {
+			t.Fatalf("missing %s; wrote: %v", path, out.String())
+		}
+		if !strings.Contains(b.String(), "<svg") {
+			t.Fatalf("%s is not SVG", path)
+		}
+	}
+}
+
+func TestReplayBuiltin(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"replay", "tmpfiles"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"Linux 1.2.8", "FreeBSD 2.0.5R", "Solaris 2.4", "0 errors"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("replay output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestReplayFromFile(t *testing.T) {
+	a, out, _, files := testApp()
+	files["my.trace"] = bytes.NewBufferString("mkdir /d\ncreate /d/f 64K\nread /d/f\n")
+	if code := a.Execute([]string{"replay", "my.trace"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "my.trace") {
+		t.Fatal("trace name not echoed")
+	}
+}
+
+func TestReplayMissingTrace(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"replay", "nope.trace"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no such file") {
+		t.Fatalf("error not reported: %s", errb.String())
+	}
+}
+
+func TestReplayBadTraceFile(t *testing.T) {
+	a, _, errb, _ := testApp()
+	files := map[string]*bytes.Buffer{"bad.trace": bytes.NewBufferString("frob /x\n")}
+	a.ReadFile = func(p string) ([]byte, error) {
+		if b, ok := files[p]; ok {
+			return b.Bytes(), nil
+		}
+		return nil, fmt.Errorf("no file")
+	}
+	if code := a.Execute([]string{"replay", "bad.trace"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown operation") {
+		t.Fatalf("parse error not surfaced: %s", errb.String())
+	}
+}
+
+func TestLatency(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"latency"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "selfpipe") || !strings.Contains(out.String(), "Solaris 2.4") {
+		t.Fatalf("latency output malformed:\n%s", out.String())
+	}
+}
+
+func TestNotes(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"notes"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"Installation experiences", "Porting experiences", "Conclusions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("notes missing %q", want)
+		}
+	}
+}
+
+func TestPlatform(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"platform"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"Pentium", "HP 3725", "Quantum", "Table 1", "ext2fs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("platform missing %q", want)
+		}
+	}
+}
+
+func TestFutureFlag(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"-runs", "3", "-future", "run", "T2"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "1.3.40") {
+		t.Fatal("-future did not add the development kernels")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	a, _, _, _ := testApp()
+	if code := a.Execute([]string{"-nonsense"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("check runs every exhibit")
+	}
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"check"}); code != 0 {
+		t.Fatalf("check failed (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "30/30 claims hold.") {
+		t.Fatalf("unexpected check summary:\n%s", out.String())
+	}
+}
+
+func TestProfilesDumpAndReload(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"profiles"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	dump := out.String()
+	if !strings.Contains(dump, `"scan-all"`) || !strings.Contains(dump, "SunOS") {
+		t.Fatalf("profiles dump incomplete:\n%.300s", dump)
+	}
+	// The dump must be loadable back through -profiles.
+	b, bOut, _, _ := testApp()
+	b.ReadFile = func(string) ([]byte, error) { return []byte(dump), nil }
+	if code := b.Execute([]string{"-runs", "2", "-profiles", "x.json", "run", "T2"}); code != 0 {
+		t.Fatalf("reload exit = %d", code)
+	}
+	// The run now includes built-ins twice over: just check one extra name.
+	if !strings.Contains(bOut.String(), "SunOS 4.1.4") {
+		t.Fatal("extra profiles not benchmarked")
+	}
+}
+
+func TestProfilesFlagBadFile(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"-profiles", "missing.json", "run", "T2"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if errb.Len() == 0 {
+		t.Fatal("no error reported")
+	}
+}
+
+func TestProfilesFlagBadJSON(t *testing.T) {
+	a, _, errb, _ := testApp()
+	a.ReadFile = func(string) ([]byte, error) { return []byte(`[{"Name":"X"}]`), nil }
+	if code := a.Execute([]string{"-profiles", "x.json", "run", "T2"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "profile") {
+		t.Fatalf("validation error not surfaced: %s", errb.String())
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"trace"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"dispatch", "pipe-write", "wake", "scanned 3", "miss true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("trace output missing %q", want)
+		}
+	}
+	// Solaris' trace must show its expensive dispatches.
+	if !strings.Contains(out.String(), "Solaris 2.4 — one") {
+		t.Error("trace should cover every system")
+	}
+}
+
+func TestHTMLCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("html runs every exhibit")
+	}
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"-runs", "3", "html"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	doc := out.String()
+	if !strings.Contains(doc, "<!DOCTYPE html>") || !strings.Contains(doc, "F12") {
+		t.Fatalf("html output malformed: %.200s", doc)
+	}
+}
+
+func TestNewAppBindsRealEnvironment(t *testing.T) {
+	var out, errb bytes.Buffer
+	a := NewApp(&out, &errb)
+	if a.ReadFile == nil || a.CreateFile == nil || a.MkdirAll == nil {
+		t.Fatal("NewApp left hooks nil")
+	}
+	if code := a.Execute([]string{"list"}); code != 0 {
+		t.Fatal("real-environment app cannot list")
+	}
+}
+
+func TestExperimentsCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments runs every exhibit and claim")
+	}
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"-runs", "3", "experiments"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	doc := out.String()
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"## T7 —", "## F13 —", "## A7 —", "## X2 —",
+		"## Claim audit", "| C30 |",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("experiments output missing %q", want)
+		}
+	}
+}
+
+func TestSensitivityCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity runs perturbed replicas")
+	}
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"-runs", "3", "-trials", "1", "-eps", "0.05", "sensitivity"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "claims survive") {
+		t.Fatalf("sensitivity summary missing:\n%.300s", out.String())
+	}
+}

@@ -1,0 +1,263 @@
+// Package core is the experiment harness: it maps every table and figure
+// of the paper (and the ablations in DESIGN.md §5) to a runnable
+// experiment, executes the twenty-run protocol of §3, and produces
+// structured results that package report renders and EXPERIMENTS.md
+// records.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Kind distinguishes the paper's two exhibit forms.
+type Kind int
+
+const (
+	// Table is a single value per operating system (Tables 2-7).
+	Table Kind = iota
+	// Figure is a curve — one per OS, or a single hardware curve
+	// (Figures 1-13).
+	Figure
+)
+
+// Config controls a run of the suite.
+type Config struct {
+	// Seed is the master seed; every stochastic element derives from it.
+	// The default seed 1 reproduces EXPERIMENTS.md bit for bit.
+	Seed uint64
+	// Runs is the number of benchmark repetitions (the paper used 20).
+	Runs int
+	// Profiles are the systems under test, in presentation order.
+	Profiles []*osprofile.Profile
+}
+
+// DefaultConfig returns the paper's protocol: twenty runs of Linux 1.2.8,
+// FreeBSD 2.0.5R and Solaris 2.4, seed 1.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Runs: 20, Profiles: osprofile.Paper()}
+}
+
+// Series is one labelled curve (or, for tables, one labelled value) of a
+// result: per X value, the sample of per-run measurements.
+type Series struct {
+	// Label identifies the curve: usually an OS, sometimes a routine or a
+	// variant ("Solaris-LIFO").
+	Label string
+	// X holds the sweep parameter values (empty for tables).
+	X []float64
+	// Samples holds one twenty-run sample per X entry (exactly one entry
+	// for tables).
+	Samples []*stats.Sample
+}
+
+// MeanAt returns the sample mean at index i.
+func (s *Series) MeanAt(i int) float64 { return s.Samples[i].Mean() }
+
+// Result is one executed experiment.
+type Result struct {
+	// ID is the exhibit identifier: "T2", "F13", "A5", ...
+	ID string
+	// Title is the exhibit's name as in the paper.
+	Title string
+	// Kind says whether this renders as a table or a figure.
+	Kind Kind
+	// YUnit and XLabel describe the axes ("µs", "MB/s"; "processes",
+	// "buffer bytes").
+	YUnit, XLabel string
+	// LogX indicates the paper plotted the X axis on a log scale.
+	LogX bool
+	// Direction says whether smaller or larger YUnit values are better.
+	Direction stats.Direction
+	// Series holds the curves/rows.
+	Series []Series
+	// Expected holds the paper's reported numbers where the paper gives
+	// them (tables and a few figure landmarks); nil otherwise.
+	Expected []Expectation
+	// Notes carries the qualitative shape claims the paper makes about
+	// this exhibit, for EXPERIMENTS.md.
+	Notes []string
+}
+
+// FindSeries returns the series with the given label, or nil.
+func (r *Result) FindSeries(label string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// ExpectationFor returns the paper's expectation for a label, if any.
+func (r *Result) ExpectationFor(label string) (Expectation, bool) {
+	for _, e := range r.Expected {
+		if e.Label == label {
+			return e, true
+		}
+	}
+	return Expectation{}, false
+}
+
+// Expectation is one paper-reported value.
+type Expectation struct {
+	// Label matches a Series label (or landmark description).
+	Label string
+	// Mean is the paper's reported mean in YUnit.
+	Mean float64
+	// StdDevPct is the paper's reported standard deviation (% of mean),
+	// or 0 if not reported.
+	StdDevPct float64
+}
+
+// Experiment is a runnable exhibit reproduction.
+type Experiment struct {
+	// ID is the exhibit identifier ("T2", "F1", "A3"); Title names it.
+	ID    string
+	Title string
+	// Kind mirrors Result.Kind.
+	Kind Kind
+	// Paper references the paper section/table/figure.
+	Paper string
+	// Run executes the experiment under cfg.
+	Run func(cfg Config) *Result
+}
+
+// registry holds all experiments in presentation order.
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in presentation order: the paper's tables
+// and figures in paper order, then the ablations.
+func All() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return rank(out[i].ID) < rank(out[j].ID) })
+	return out
+}
+
+// rank orders experiment IDs: T2..T7, then F1..F13, then A1..A6.
+func rank(id string) int {
+	if id == "" {
+		return 1 << 20
+	}
+	n := 0
+	fmt.Sscanf(id[1:], "%d", &n)
+	switch id[0] {
+	case 'T':
+		return n
+	case 'F':
+		return 100 + n
+	case 'A':
+		return 200 + n
+	}
+	return 300 + n
+}
+
+// Lookup finds an experiment by ID (case-sensitive, e.g. "T2").
+func Lookup(id string) (*Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ValidateRegistry checks registry invariants (unique IDs, runnable
+// entries). Exposed for tests.
+func ValidateRegistry() error {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if seen[e.ID] {
+			return fmt.Errorf("core: duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			return fmt.Errorf("core: experiment %q has no Run", e.ID)
+		}
+		if e.ID == "" || e.Title == "" || e.Paper == "" {
+			return fmt.Errorf("core: experiment %q missing metadata", e.ID)
+		}
+	}
+	return nil
+}
+
+// noiseSample replicates a deterministic model mean into a run sample
+// with the personality's calibrated relative noise, reproducing the
+// paper's twenty-run protocol. The salt isolates each (experiment,
+// series, point) stream so adding a series never perturbs another's.
+func noiseSample(cfg Config, salt uint64, rel float64, mean float64) *stats.Sample {
+	rng := sim.NewRNG(cfg.Seed).Fork(salt)
+	s := &stats.Sample{}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 20
+	}
+	for r := 0; r < runs; r++ {
+		s.Add(mean * rng.Noise(rel))
+	}
+	return s
+}
+
+// saltFor derives a stable per-(experiment, series, point) RNG label.
+func saltFor(id, label string, idx int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range id + "\x00" + label {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h*31 + uint64(idx)
+}
+
+// profileNoise picks the calibrated noise level for an experiment area.
+type noiseArea int
+
+const (
+	noiseSyscall noiseArea = iota
+	noiseCtx
+	noiseMem
+	noiseFS
+	noiseMAB
+	noisePipe
+	noiseUDP
+	noiseTCP
+	noiseNFS
+)
+
+func noiseFor(p *osprofile.Profile, a noiseArea) float64 {
+	switch a {
+	case noiseSyscall:
+		return p.Noise.Syscall
+	case noiseCtx:
+		return p.Noise.Ctx
+	case noiseMem:
+		return p.Noise.Mem
+	case noiseFS:
+		return p.Noise.FS
+	case noiseMAB:
+		return p.Noise.MAB
+	case noisePipe:
+		return p.Noise.Pipe
+	case noiseUDP:
+		return p.Noise.UDP
+	case noiseTCP:
+		return p.Net.TCPNoise
+	case noiseNFS:
+		return p.Noise.NFS
+	}
+	return 0.01
+}

@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func TestX1PhaseBreakdown(t *testing.T) {
+	e, _ := Lookup("X1")
+	res := e.Run(smallConfig())
+	if len(res.Series) != 3 {
+		t.Fatalf("X1 series = %d, want 3", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.X) != 5 {
+			t.Fatalf("%s: %d phases, want 5", s.Label, len(s.X))
+		}
+	}
+	// §8.1: FreeBSD wins the stat phase (index 2), beating even Linux.
+	fb := res.FindSeries("FreeBSD 2.0.5R")
+	lx := res.FindSeries("Linux 1.2.8")
+	if fb.Samples[2].Mean() >= lx.Samples[2].Mean() {
+		t.Errorf("FreeBSD stat phase %.3f should beat Linux %.3f",
+			fb.Samples[2].Mean(), lx.Samples[2].Mean())
+	}
+	// Compile (index 4) dominates everywhere — several times the copy
+	// phase even on the FFS systems, whose copy phase pays sync metadata.
+	for _, s := range res.Series {
+		if s.Samples[4].Mean() < 5*s.Samples[1].Mean() {
+			t.Errorf("%s: compile %.2f not ≫ copy %.2f", s.Label,
+				s.Samples[4].Mean(), s.Samples[1].Mean())
+		}
+	}
+}
+
+func TestX2DiskOps(t *testing.T) {
+	e, _ := Lookup("X2")
+	res := e.Run(smallConfig())
+	get := func(label string) float64 { return res.FindSeries(label).Samples[0].Mean() }
+	if get("Linux 1.2.8") != 0 {
+		t.Errorf("Linux crtdel disk ops = %v, want exactly 0 (§7.2)", get("Linux 1.2.8"))
+	}
+	fb, sol := get("FreeBSD 2.0.5R"), get("Solaris 2.4")
+	if fb <= sol || sol <= 0 {
+		t.Errorf("disk op counts: FreeBSD %v must exceed Solaris %v > 0", fb, sol)
+	}
+	// Counts are deterministic: zero variance.
+	for _, s := range res.Series {
+		if s.Samples[0].StdDev() != 0 {
+			t.Errorf("%s: operation count has variance", s.Label)
+		}
+	}
+}
+
+func TestA7KneeMoves(t *testing.T) {
+	e, _ := Lookup("A7")
+	res := e.Run(smallConfig())
+	if len(res.Series) != 3 {
+		t.Fatalf("A7 series = %d, want 3 pressure levels", len(res.Series))
+	}
+	// At a 12 MB file: full cache serves it, the most pressured cache
+	// (9 MB) cannot.
+	at12 := func(si int) float64 {
+		s := res.Series[si]
+		for i, x := range s.X {
+			if x == 12 {
+				return s.Samples[i].Mean()
+			}
+		}
+		t.Fatal("no 12 MB point")
+		return 0
+	}
+	idle, pressured := at12(0), at12(2)
+	if idle < 4*pressured {
+		t.Errorf("knee did not move: idle %.1f vs pressured %.1f at 12 MB", idle, pressured)
+	}
+}

@@ -1,0 +1,57 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPentiumDescription(t *testing.T) {
+	p := PentiumP54C100()
+	if p.MHz != 100 {
+		t.Errorf("MHz = %v, want 100", p.MHz)
+	}
+	if p.IssueWidth != 2 {
+		t.Errorf("IssueWidth = %v, want 2 (P54C is dual-issue)", p.IssueWidth)
+	}
+	if !strings.Contains(p.String(), "100 MHz") {
+		t.Errorf("String() = %q, want it to mention the clock", p.String())
+	}
+}
+
+func TestCycleTime(t *testing.T) {
+	p := PentiumP54C100()
+	if got := p.CycleTime(); got != 10*sim.Nanosecond {
+		t.Errorf("CycleTime() = %v, want 10ns at 100 MHz", got)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	p := PentiumP54C100()
+	if got := p.Cycles(100); got != sim.Microsecond {
+		t.Errorf("Cycles(100) = %v, want 1µs", got)
+	}
+	if got := p.Cycles(0.5); got != 5*sim.Nanosecond {
+		t.Errorf("Cycles(0.5) = %v, want 5ns", got)
+	}
+}
+
+func TestInstructions(t *testing.T) {
+	p := PentiumP54C100()
+	// 1.1M instructions at IPC 1.1 = 1M cycles = 10ms (within float
+	// truncation of a nanosecond).
+	got := p.Instructions(1.1e6)
+	if d := got - 10*sim.Millisecond; d < -1 || d > 1 {
+		t.Errorf("Instructions(1.1e6) = %v, want ~10ms", got)
+	}
+}
+
+func TestInstructionsPanicsOnZeroIPC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Instructions with zero IPC did not panic")
+		}
+	}()
+	CPU{MHz: 100}.Instructions(1)
+}

@@ -1,0 +1,31 @@
+package fs_test
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/fs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// Example demonstrates the crtdel pattern on the two metadata policies:
+// ext2's asynchronous updates never touch the disk, FFS's synchronous
+// ones always do.
+func Example() {
+	for _, p := range []*osprofile.Profile{osprofile.Linux128(), osprofile.FreeBSD205()} {
+		clock := &sim.Clock{}
+		fsys := fs.New(clock, disk.New(disk.HP3725(), sim.NewRNG(1)), p)
+
+		f, _ := fsys.Create("/tmp.file")
+		f.Write(1024)
+		f.Close()
+		fsys.Unlink("/tmp.file")
+
+		fmt.Printf("%s (%s metadata): %d synchronous metadata writes\n",
+			p, p.FS.MetaPolicy, fsys.Stats().SyncMetaWrites)
+	}
+	// Output:
+	// Linux 1.2.8 (asynchronous metadata): 0 synchronous metadata writes
+	// FreeBSD 2.0.5R (synchronous metadata): 8 synchronous metadata writes
+}

@@ -1,0 +1,67 @@
+package fs
+
+// VFS is the file system interface workloads are written against. The
+// local FileSystem satisfies it through AsVFS, and the NFS client
+// implements it directly, so the Modified Andrew Benchmark runs unchanged
+// over either — exactly as the real MAB did in §8 and §10.
+type VFS interface {
+	// Mkdir creates a directory.
+	Mkdir(path string) error
+	// Create creates or truncates a file and opens it.
+	Create(path string) (Handle, error)
+	// Open opens an existing file.
+	Open(path string) (Handle, error)
+	// Unlink removes a file.
+	Unlink(path string) error
+	// Rename moves a file.
+	Rename(oldPath, newPath string) error
+	// Stat returns file attributes.
+	Stat(path string) (StatInfo, error)
+	// List returns the names in a directory, sorted.
+	List(path string) ([]string, error)
+}
+
+// Handle is an open file.
+type Handle interface {
+	// Read reads up to n bytes at the current offset, returning the count.
+	Read(n int64) int64
+	// Write writes n bytes at the current offset.
+	Write(n int64)
+	// SeekTo positions the offset.
+	SeekTo(offset int64)
+	// Size returns the file size.
+	Size() int64
+	// Close closes the handle.
+	Close()
+}
+
+// vfsAdapter lifts *FileSystem's concrete returns to the interface.
+type vfsAdapter struct{ f *FileSystem }
+
+// AsVFS returns the file system as a VFS.
+func (f *FileSystem) AsVFS() VFS { return vfsAdapter{f} }
+
+func (a vfsAdapter) Mkdir(path string) error { return a.f.Mkdir(path) }
+func (a vfsAdapter) Create(path string) (Handle, error) {
+	h, err := a.f.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+func (a vfsAdapter) Open(path string) (Handle, error) {
+	h, err := a.f.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+func (a vfsAdapter) Unlink(path string) error { return a.f.Unlink(path) }
+func (a vfsAdapter) Rename(oldPath, newPath string) error {
+	return a.f.Rename(oldPath, newPath)
+}
+func (a vfsAdapter) Stat(path string) (StatInfo, error) { return a.f.Stat(path) }
+func (a vfsAdapter) List(path string) ([]string, error) { return a.f.List(path) }
+
+// SyncAll flushes all dirty data, satisfying workload.Syncer.
+func (a vfsAdapter) SyncAll() { a.f.SyncAll() }

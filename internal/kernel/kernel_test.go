@@ -1,0 +1,460 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+func newLinux() *Machine {
+	return NewMachine(cpu.PentiumP54C100(), osprofile.Linux128(), sim.NewRNG(1))
+}
+func newFreeBSD() *Machine {
+	return NewMachine(cpu.PentiumP54C100(), osprofile.FreeBSD205(), sim.NewRNG(1))
+}
+func newSolaris() *Machine {
+	return NewMachine(cpu.PentiumP54C100(), osprofile.Solaris24(), sim.NewRNG(1))
+}
+
+func TestGetpidChargesSyscall(t *testing.T) {
+	m := newLinux()
+	var pid int
+	m.Spawn("getpid", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			pid = p.Getpid()
+		}
+	})
+	m.Run()
+	if pid == 0 {
+		t.Fatal("Getpid returned 0")
+	}
+	want := sim.Duration(1000 * int64(m.OS().Kernel.Syscall))
+	got := m.Now().Sub(0) - m.switchOverheadForOneProc()
+	if got != want {
+		t.Fatalf("1000 getpids took %v, want %v (plus initial dispatch)", got, want)
+	}
+}
+
+// switchOverheadForOneProc returns the cost of the single initial dispatch
+// a one-process run performs.
+func (m *Machine) switchOverheadForOneProc() sim.Duration {
+	k := &m.OS().Kernel
+	cost := k.CtxBase
+	if k.Scheduler == osprofile.SchedScanAll {
+		// The process has exited by the time we compute this; it was the
+		// only task when dispatched.
+		cost += k.CtxPerTask
+	}
+	return cost
+}
+
+func TestProcsRunToCompletion(t *testing.T) {
+	m := newLinux()
+	ran := make([]bool, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		m.Spawn("worker", func(p *Proc) { ran[i] = true })
+	}
+	m.Run()
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("process %d never ran", i)
+		}
+	}
+}
+
+func TestPIDsAreUnique(t *testing.T) {
+	m := newLinux()
+	a := m.Spawn("a", func(p *Proc) {})
+	b := m.Spawn("b", func(p *Proc) {})
+	if a.PID() == b.PID() {
+		t.Fatal("duplicate PIDs")
+	}
+	if a.Name() != "a" || b.Name() != "b" {
+		t.Fatal("names not preserved")
+	}
+	m.Run()
+}
+
+func TestPipeTransfersData(t *testing.T) {
+	m := newLinux()
+	pipe := m.NewPipe()
+	var got int
+	m.Spawn("writer", func(p *Proc) { p.Write(pipe, 10000) })
+	m.Spawn("reader", func(p *Proc) {
+		for got < 10000 {
+			got += p.Read(pipe, 4096)
+		}
+	})
+	m.Run()
+	if got != 10000 {
+		t.Fatalf("reader got %d bytes, want 10000", got)
+	}
+	if pipe.BytesTransferred != 10000 {
+		t.Fatalf("BytesTransferred = %d, want 10000", pipe.BytesTransferred)
+	}
+	if pipe.Buffered() != 0 {
+		t.Fatalf("pipe left %d bytes buffered", pipe.Buffered())
+	}
+}
+
+func TestPipeBlocksWriterAtCapacity(t *testing.T) {
+	m := newLinux()
+	pipe := m.NewPipe()
+	cap := pipe.Capacity()
+	order := []string{}
+	m.Spawn("writer", func(p *Proc) {
+		p.Write(pipe, cap) // fits exactly, no block
+		order = append(order, "wrote-cap")
+		p.Write(pipe, 1) // must block until reader drains
+		order = append(order, "wrote-extra")
+	})
+	m.Spawn("reader", func(p *Proc) {
+		order = append(order, "reading")
+		p.ReadFull(pipe, cap+1)
+		order = append(order, "read-all")
+	})
+	m.Run()
+	if len(order) != 4 || order[0] != "wrote-cap" || order[1] != "reading" {
+		t.Fatalf("order = %v; writer must block at capacity", order)
+	}
+}
+
+func TestPipeReadBlocksUntilData(t *testing.T) {
+	m := newLinux()
+	pipe := m.NewPipe()
+	var got int
+	m.Spawn("reader", func(p *Proc) { got = p.Read(pipe, 100) })
+	m.Spawn("writer", func(p *Proc) { p.Write(pipe, 42) })
+	m.Run()
+	if got != 42 {
+		t.Fatalf("read returned %d, want the 42 available bytes", got)
+	}
+}
+
+func TestTokenRingPasses(t *testing.T) {
+	// A miniature ctx ring: 4 processes, 100 laps.
+	m := newFreeBSD()
+	const nproc, laps = 4, 100
+	pipes := make([]*Pipe, nproc)
+	for i := range pipes {
+		pipes[i] = m.NewPipe()
+	}
+	counts := make([]int, nproc)
+	for i := 0; i < nproc; i++ {
+		i := i
+		m.Spawn("ring", func(p *Proc) {
+			for lap := 0; lap < laps; lap++ {
+				if !(i == 0 && lap == 0) {
+					p.ReadFull(pipes[i], 1)
+				}
+				counts[i]++
+				p.Write(pipes[(i+1)%nproc], 1)
+			}
+			if i == 0 {
+				p.ReadFull(pipes[0], 1) // collect the final token
+			}
+		})
+	}
+	m.Run()
+	for i, c := range counts {
+		if c != laps {
+			t.Fatalf("process %d passed token %d times, want %d", i, c, laps)
+		}
+	}
+	if m.Switches() == 0 {
+		t.Fatal("ring ran with no context switches")
+	}
+}
+
+func TestLinuxSwitchCostGrowsWithProcs(t *testing.T) {
+	// §5: Linux context switch time increases linearly with active
+	// processes: the goodness scan examines every live task, so the pick
+	// cost scales with the task count.
+	costAt := func(n int) sim.Duration {
+		m := newLinux()
+		for i := 0; i < n; i++ {
+			m.Spawn("idle", func(p *Proc) { p.block() }) // park forever
+		}
+		next, cost := m.sched.pick()
+		if next == nil {
+			t.Fatal("nothing runnable")
+		}
+		if cost.scanned != n {
+			t.Fatalf("scan examined %d tasks, want all %d", cost.scanned, n)
+		}
+		return m.switchCost(cost)
+	}
+	c2, c20, c40 := costAt(2), costAt(20), costAt(40)
+	if !(c2 < c20 && c20 < c40) {
+		t.Fatalf("Linux switch cost not increasing: %v %v %v", c2, c20, c40)
+	}
+	// Linearity: the 20→40 increment is ~the 2→20 increment scaled.
+	d1 := int64(c20 - c2)  // 18 tasks
+	d2 := int64(c40 - c20) // 20 tasks
+	perTask1 := d1 / 18
+	perTask2 := d2 / 20
+	if perTask1 != perTask2 {
+		t.Fatalf("per-task cost not constant: %v vs %v", perTask1, perTask2)
+	}
+}
+
+func TestFreeBSDSwitchCostFlat(t *testing.T) {
+	costAt := func(n int) sim.Duration {
+		m := newFreeBSD()
+		for i := 0; i < n; i++ {
+			m.Spawn("idle", func(p *Proc) { p.block() })
+		}
+		_, cost := m.sched.pick()
+		if cost.scanned != 0 {
+			t.Fatalf("bitmap queues scanned %d tasks; pick must be constant-time", cost.scanned)
+		}
+		return m.switchCost(cost)
+	}
+	if costAt(2) != costAt(200) {
+		t.Fatal("FreeBSD switch cost must not depend on process count (§5)")
+	}
+}
+
+func TestSchedulerPickOrderFIFO(t *testing.T) {
+	// All three structures preserve ready order for equal priorities, so
+	// benchmark interleavings are identical across personalities.
+	for _, mk := range []func() *Machine{newLinux, newFreeBSD, newSolaris} {
+		m := mk()
+		var order []int
+		for i := 0; i < 4; i++ {
+			i := i
+			m.Spawn("w", func(p *Proc) { order = append(order, i) })
+		}
+		m.Run()
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("%v: run order %v not FIFO", m.OS(), order)
+			}
+		}
+	}
+}
+
+func TestSolarisTableOverflowAt32(t *testing.T) {
+	// Figure 1: cycling through more than 32 processes misses the mapping
+	// resource on every dispatch; at or under 32 it always hits.
+	missRate := func(nproc int) float64 {
+		tbl := newLRUTable(32)
+		misses, total := 0, 0
+		// Warm up one full cycle, then measure.
+		for lap := 0; lap < 10; lap++ {
+			for id := 0; id < nproc; id++ {
+				hit := tbl.touch(id)
+				if lap > 0 {
+					total++
+					if !hit {
+						misses++
+					}
+				}
+			}
+		}
+		return float64(misses) / float64(total)
+	}
+	if r := missRate(32); r != 0 {
+		t.Errorf("32-process cyclic miss rate = %v, want 0", r)
+	}
+	if r := missRate(33); r != 1 {
+		t.Errorf("33-process cyclic miss rate = %v, want 1 (LRU cyclic thrash)", r)
+	}
+}
+
+func TestSolarisLIFOChainGradual(t *testing.T) {
+	// Figure 1: the LIFO chain pattern degrades gradually between 32 and
+	// ~64 processes because turnaround locality keeps part of the working
+	// set resident.
+	missRate := func(nproc int) float64 {
+		tbl := newLRUTable(32)
+		misses, total := 0, 0
+		for lap := 0; lap < 10; lap++ {
+			// 0,1,...,n-1,n-2,...,1 — one LIFO round trip.
+			seq := make([]int, 0, 2*nproc)
+			for i := 0; i < nproc; i++ {
+				seq = append(seq, i)
+			}
+			for i := nproc - 2; i >= 1; i-- {
+				seq = append(seq, i)
+			}
+			for _, id := range seq {
+				hit := tbl.touch(id)
+				if lap > 0 {
+					total++
+					if !hit {
+						misses++
+					}
+				}
+			}
+		}
+		return float64(misses) / float64(total)
+	}
+	r40, r64, r128 := missRate(40), missRate(64), missRate(128)
+	if !(r40 > 0 && r40 < 1) {
+		t.Errorf("LIFO chain at 40 procs should partially hit, got miss rate %v", r40)
+	}
+	if !(r40 < r64 || r64 < r128) {
+		t.Errorf("LIFO miss rate should grow: %v %v %v", r40, r64, r128)
+	}
+}
+
+func TestShutdownKillsBlockedProcs(t *testing.T) {
+	m := newLinux()
+	pipe := m.NewPipe()
+	m.Spawn("server", func(p *Proc) {
+		p.Read(pipe, 1) // never satisfied
+		t.Error("server ran past a read that should never complete")
+	})
+	m.RunDrain()
+	if n := m.ActiveProcs(); n != 0 {
+		t.Fatalf("ActiveProcs = %d after RunDrain, want 0", n)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not panic on deadlock")
+		}
+	}()
+	m := newLinux()
+	pipe := m.NewPipe()
+	m.Spawn("stuck", func(p *Proc) { p.Read(pipe, 1) })
+	m.Run()
+}
+
+func TestChargeAccumulatesUserTime(t *testing.T) {
+	m := newLinux()
+	var p0 *Proc
+	m.Spawn("worker", func(p *Proc) {
+		p0 = p
+		p.Charge(5 * sim.Millisecond)
+		p.Charge(5 * sim.Millisecond)
+	})
+	m.Run()
+	if p0.UserTime != 10*sim.Millisecond {
+		t.Fatalf("UserTime = %v, want 10ms", p0.UserTime)
+	}
+}
+
+func TestForkExecCosts(t *testing.T) {
+	m := newSolaris()
+	before := m.Now()
+	m.Spawn("parent", func(p *Proc) {
+		p.ChargeFork()
+		p.ChargeExec()
+	})
+	m.Run()
+	k := m.OS().Kernel
+	want := k.Fork + k.Exec
+	got := m.Now().Sub(before)
+	if got < want {
+		t.Fatalf("fork+exec advanced %v, want at least %v", got, want)
+	}
+}
+
+func TestYieldTimeslice(t *testing.T) {
+	m := newFreeBSD()
+	var order []int
+	m.Spawn("a", func(p *Proc) {
+		order = append(order, 1)
+		p.YieldTimeslice()
+		order = append(order, 3)
+	})
+	m.Spawn("b", func(p *Proc) {
+		order = append(order, 2)
+	})
+	m.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestPipePanicsOnBadSizes(t *testing.T) {
+	m := newLinux()
+	pipe := m.NewPipe()
+	m.Spawn("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Write(0) did not panic")
+			}
+		}()
+		p.Write(pipe, 0)
+	})
+	m.Run()
+}
+
+func TestDeterministicMultiProcessRun(t *testing.T) {
+	run := func() sim.Time {
+		m := newSolaris()
+		pipe := m.NewPipe()
+		m.Spawn("w", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Write(pipe, 3000)
+			}
+		})
+		m.Spawn("r", func(p *Proc) {
+			p.ReadFull(pipe, 150000)
+		})
+		m.Run()
+		return m.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("multi-process run not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestTraceRecordsTimeline(t *testing.T) {
+	m := newSolaris()
+	m.EnableTrace(0)
+	pipe := m.NewPipe()
+	m.Spawn("w", func(p *Proc) { p.Write(pipe, 1) })
+	m.Spawn("r", func(p *Proc) { p.ReadFull(pipe, 1) })
+	m.Run()
+	events := m.TraceEvents()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[string]int{}
+	var last sim.Time
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.When < last {
+			t.Fatal("trace out of time order")
+		}
+		last = e.When
+		if e.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+	for _, want := range []string{"spawn", "dispatch", "pipe-write", "pipe-read", "exit"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events: %v", want, kinds)
+		}
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	m := newLinux()
+	m.Spawn("w", func(p *Proc) { p.Getpid() })
+	m.Run()
+	if len(m.TraceEvents()) != 0 {
+		t.Fatal("tracing recorded events while disabled")
+	}
+}
+
+func TestTraceLimitBounds(t *testing.T) {
+	m := newLinux()
+	m.EnableTrace(5)
+	for i := 0; i < 20; i++ {
+		m.Spawn("w", func(p *Proc) {})
+	}
+	m.Run()
+	if got := len(m.TraceEvents()); got > 5 {
+		t.Fatalf("trace kept %d events, limit 5", got)
+	}
+}

@@ -1,0 +1,232 @@
+// Package kernel simulates the operating system kernel of the benchmarking
+// platform: processes, the scheduler, system-call dispatch, and pipes.
+//
+// Simulated processes are ordinary Go functions run on goroutines, but the
+// kernel enforces strict single-threading with a baton: exactly one
+// simulated process executes at any moment, and control returns to the
+// kernel whenever the process blocks or exits. Combined with the virtual
+// clock, this makes every simulation deterministic while letting benchmark
+// programs (a ring of token-passing processes, a pipe bandwidth test) be
+// written the way the originals were written against the real kernels.
+//
+// The scheduler implements the structural differences §5 of the paper
+// explains: Linux 1.2 scans an O(n) task list on every switch, 4.4BSD picks
+// from constant-time run queues, and Solaris pays a high fixed dispatch
+// cost plus a 32-entry per-process mapping resource whose overflow causes
+// the jump at 32 processes in Figure 1.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// Machine is one simulated computer running one operating system
+// personality. It owns the virtual clock and the process table.
+//
+// Machine is not safe for concurrent use: callers drive it from a single
+// goroutine, and simulated processes run one at a time under the kernel's
+// baton.
+type Machine struct {
+	clock sim.Clock
+	cpu   cpu.CPU
+	os    *osprofile.Profile
+	rng   *sim.RNG
+
+	procs    []*Proc
+	sched    scheduler
+	current  *Proc
+	lastRun  *Proc
+	nextPID  int
+	switches uint64
+
+	// KernelTime accumulates time spent in kernel activities, for
+	// diagnostics.
+	KernelTime sim.Duration
+
+	// tracing state (see trace.go).
+	tracing    bool
+	traceLimit int
+	traceBuf   []TraceEvent
+}
+
+// NewMachine builds a machine running the given OS personality. The RNG
+// seeds stochastic elements (none in the kernel proper, but subsystems
+// fork from it).
+func NewMachine(c cpu.CPU, os *osprofile.Profile, rng *sim.RNG) *Machine {
+	m := &Machine{cpu: c, os: os, rng: rng, nextPID: 1}
+	m.sched = newScheduler(m)
+	return m
+}
+
+// OS returns the machine's operating-system personality.
+func (m *Machine) OS() *osprofile.Profile { return m.os }
+
+// CPU returns the machine's processor description.
+func (m *Machine) CPU() cpu.CPU { return m.cpu }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() sim.Time { return m.clock.Now() }
+
+// Clock exposes the machine clock so subsystems (file system, network)
+// can charge time when invoked outside a simulated process.
+func (m *Machine) Clock() *sim.Clock { return &m.clock }
+
+// RNG returns the machine's random stream.
+func (m *Machine) RNG() *sim.RNG { return m.rng }
+
+// Switches returns the number of context switches performed so far.
+func (m *Machine) Switches() uint64 { return m.switches }
+
+// ActiveProcs returns the number of live (not yet exited) processes —
+// the n in Linux's O(n) scheduler scan.
+func (m *Machine) ActiveProcs() int {
+	n := 0
+	for _, p := range m.procs {
+		if p.state != procDone {
+			n++
+		}
+	}
+	return n
+}
+
+// charge advances the virtual clock, attributing the time to the kernel.
+func (m *Machine) charge(d sim.Duration) {
+	m.clock.Advance(d)
+	m.KernelTime += d
+}
+
+// switchCost converts one dispatch's pick mechanics into time.
+func (m *Machine) switchCost(c pickCost) sim.Duration {
+	k := &m.os.Kernel
+	cost := k.CtxBase
+	cost += sim.Duration(int64(k.CtxPerTask) * int64(c.scanned))
+	if c.tableMiss {
+		cost += k.CtxTableMiss
+	}
+	return cost
+}
+
+// schedule runs the dispatcher loop: pick the next runnable process via
+// the personality's scheduler structure, charge the context-switch cost
+// when control actually changes hands, and hand it the baton. It returns
+// when no process is runnable.
+func (m *Machine) schedule() {
+	for {
+		next, cost := m.sched.pick()
+		if next == nil {
+			return
+		}
+		if next.state != procRunnable {
+			continue
+		}
+		if next != m.lastRun {
+			d := m.switchCost(cost)
+			m.charge(d)
+			m.switches++
+			m.trace("dispatch", next.pid, "%s (cost %v, scanned %d, miss %v)",
+				next.name, d, cost.scanned, cost.tableMiss)
+		}
+		m.lastRun = next
+		m.current = next
+		next.state = procRunning
+		next.resume <- struct{}{}
+		<-next.yielded
+		m.current = nil
+	}
+}
+
+// Run starts the machine: every spawned process runs until it exits or
+// blocks forever. Run panics if processes remain blocked with nothing
+// runnable and Shutdown was not requested — in a benchmark that is always
+// a deadlock bug.
+func (m *Machine) Run() {
+	m.schedule()
+	for _, p := range m.procs {
+		if p.state == procBlocked {
+			panic(fmt.Sprintf("kernel: deadlock: process %d (%s) blocked with empty run queue", p.pid, p.name))
+		}
+	}
+}
+
+// RunDrain is Run for workloads that intentionally leave blocked
+// processes behind (a server waiting for requests that will never come).
+// Blocked processes are killed instead of panicking.
+func (m *Machine) RunDrain() {
+	m.schedule()
+	m.Shutdown()
+}
+
+// Shutdown kills every live process. Blocked processes are resumed with a
+// kill signal that unwinds their goroutines; runnable ones are killed
+// before running again.
+func (m *Machine) Shutdown() {
+	for _, p := range m.procs {
+		if p.state == procDone {
+			continue
+		}
+		p.killed = true
+		if p.state == procBlocked {
+			p.state = procRunnable
+			p.resume <- struct{}{}
+			<-p.yielded
+		}
+	}
+	// Drain any that were runnable in the queue.
+	for {
+		next, _ := m.sched.pick()
+		if next == nil {
+			return
+		}
+		if next.state != procRunnable {
+			continue
+		}
+		next.resume <- struct{}{}
+		<-next.yielded
+	}
+}
+
+// ready marks p runnable and enqueues it with the scheduler.
+func (m *Machine) ready(p *Proc) {
+	if p.state == procDone {
+		panic("kernel: readying an exited process")
+	}
+	p.state = procRunnable
+	m.sched.enqueue(p)
+}
+
+// lruTable is the Solaris dispatch-resource model used by
+// preemptiveSched: a fixed-capacity LRU set of process identities. A
+// dispatch whose target is absent pays a reload penalty. With a cyclic ring of more than 32 processes every
+// dispatch misses (the steep Figure 1 rise); with a LIFO chain the
+// turnaround locality lets part of the working set survive, so the rise
+// past 32 is gradual until about double the capacity (Figure 1's
+// Solaris-LIFO curve).
+type lruTable struct {
+	capacity int
+	order    []int // most recent last
+}
+
+func newLRUTable(capacity int) *lruTable {
+	return &lruTable{capacity: capacity}
+}
+
+// touch looks up id, promoting it to most-recent. It reports whether the
+// id was present (hit).
+func (t *lruTable) touch(id int) bool {
+	for i, v := range t.order {
+		if v == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			t.order = append(t.order, id)
+			return true
+		}
+	}
+	t.order = append(t.order, id)
+	if len(t.order) > t.capacity {
+		t.order = t.order[1:]
+	}
+	return false
+}

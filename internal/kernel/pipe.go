@@ -1,0 +1,116 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Pipe is a simulated UNIX pipe: a bounded kernel buffer with blocking
+// reads and writes. Data content is not simulated — only byte counts and
+// their costs — since no benchmark in the paper inspects pipe payloads.
+//
+// The cost model follows §9.1: each read or write pays the
+// read/write-class system-call cost, moving data pays the personality's
+// per-KB copy cost (Solaris' STREAMS implementation makes this large),
+// and waking the blocked peer pays the wake cost.
+type Pipe struct {
+	m        *Machine
+	capacity int
+	buffered int
+
+	readers []*Proc
+	writers []*Proc
+
+	// BytesTransferred counts all data that has passed through.
+	BytesTransferred uint64
+}
+
+// NewPipe creates a pipe with the personality's kernel buffer capacity.
+func (m *Machine) NewPipe() *Pipe {
+	return &Pipe{m: m, capacity: m.os.Kernel.PipeCapacity}
+}
+
+// Capacity returns the kernel buffer size in bytes.
+func (pp *Pipe) Capacity() int { return pp.capacity }
+
+// Buffered returns the bytes currently in the kernel buffer.
+func (pp *Pipe) Buffered() int { return pp.buffered }
+
+// copyCost is the cost of moving n bytes between user and kernel space.
+func (pp *Pipe) copyCost(n int) sim.Duration {
+	return sim.Duration(int64(pp.m.os.Kernel.PipeCopyPerKB) * int64(n) / 1024)
+}
+
+// wake readies every process on q and returns an emptied queue, charging
+// the wake cost once if anyone was woken.
+func (pp *Pipe) wake(q []*Proc) []*Proc {
+	if len(q) == 0 {
+		return q
+	}
+	pp.m.charge(pp.m.os.Kernel.PipeWake)
+	for _, p := range q {
+		pp.m.trace("wake", p.PID(), "%s", p.Name())
+		pp.m.ready(p)
+	}
+	return q[:0]
+}
+
+// Write performs one write(2) of n bytes, blocking until every byte is in
+// the pipe (UNIX pipe writes of any size are atomic with respect to
+// completion: the call does not return until all data is written).
+func (p *Proc) Write(pp *Pipe, n int) {
+	if n <= 0 {
+		panic("kernel: pipe write of non-positive length")
+	}
+	p.rwSyscall()
+	for n > 0 {
+		space := pp.capacity - pp.buffered
+		if space == 0 {
+			pp.writers = append(pp.writers, p)
+			p.block()
+			continue
+		}
+		chunk := n
+		if chunk > space {
+			chunk = space
+		}
+		pp.m.charge(pp.copyCost(chunk))
+		pp.buffered += chunk
+		pp.BytesTransferred += uint64(chunk)
+		n -= chunk
+		pp.m.trace("pipe-write", p.PID(), "%d bytes (buffered %d)", chunk, pp.buffered)
+		pp.readers = pp.wake(pp.readers)
+	}
+}
+
+// Read performs one read(2) of up to n bytes. Like the real call it
+// blocks only until some data is available, then returns what is there
+// (bounded by n).
+func (p *Proc) Read(pp *Pipe, n int) int {
+	if n <= 0 {
+		panic("kernel: pipe read of non-positive length")
+	}
+	p.rwSyscall()
+	for pp.buffered == 0 {
+		pp.readers = append(pp.readers, p)
+		p.block()
+	}
+	chunk := n
+	if chunk > pp.buffered {
+		chunk = pp.buffered
+	}
+	pp.m.charge(pp.copyCost(chunk))
+	pp.buffered -= chunk
+	pp.m.trace("pipe-read", p.PID(), "%d bytes (buffered %d)", chunk, pp.buffered)
+	pp.writers = pp.wake(pp.writers)
+	return chunk
+}
+
+// ReadFull reads exactly n bytes, looping over Read as real programs do.
+// It returns the number of read(2) calls issued.
+func (p *Proc) ReadFull(pp *Pipe, n int) int {
+	calls := 0
+	for n > 0 {
+		got := p.Read(pp, n)
+		n -= got
+		calls++
+	}
+	return calls
+}

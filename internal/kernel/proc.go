@@ -1,0 +1,144 @@
+package kernel
+
+import "repro/internal/sim"
+
+type procState int
+
+const (
+	procEmbryo procState = iota
+	procRunnable
+	procRunning
+	procBlocked
+	procDone
+)
+
+// killSignal unwinds a simulated process goroutine during Shutdown.
+type killSignal struct{}
+
+// Proc is one simulated process. Its body function runs on its own
+// goroutine, but the kernel's baton guarantees only one process executes
+// at a time. All Proc methods must be called from within the body
+// function.
+type Proc struct {
+	m      *Machine
+	pid    int
+	name   string
+	state  procState
+	killed bool
+
+	resume  chan struct{}
+	yielded chan struct{}
+
+	// priority indexes the BSD run queues (all benchmark processes run at
+	// the same user priority). ready/readySeq serve the Linux goodness
+	// scan.
+	priority int
+	ready    bool
+	readySeq uint64
+
+	// UserTime accumulates the virtual time this process charged.
+	UserTime sim.Duration
+}
+
+// Spawn creates a process running fn and makes it runnable. The process
+// does not execute until Run (fork-cost accounting is the caller's choice
+// via ChargeFork, since benchmark setup is usually outside the timed
+// region).
+func (m *Machine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		m:        m,
+		pid:      m.nextPID,
+		name:     name,
+		state:    procEmbryo,
+		priority: 16, // mid-range user priority
+		resume:   make(chan struct{}),
+		yielded:  make(chan struct{}),
+	}
+	m.nextPID++
+	m.procs = append(m.procs, p)
+	m.trace("spawn", p.pid, "%s", name)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSignal); !ok {
+					panic(r)
+				}
+			}
+			p.state = procDone
+			p.m.trace("exit", p.pid, "%s", p.name)
+			p.yielded <- struct{}{}
+		}()
+		if p.killed {
+			panic(killSignal{})
+		}
+		fn(p)
+	}()
+	m.ready(p)
+	return p
+}
+
+// PID returns the process identifier.
+func (p *Proc) PID() int { return p.pid }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Machine returns the machine this process runs on.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Charge advances virtual time for user-level work done by this process.
+func (p *Proc) Charge(d sim.Duration) {
+	p.m.clock.Advance(d)
+	p.UserTime += d
+}
+
+// Syscall charges the bare system-call entry/exit cost (what the getpid
+// benchmark measures, Table 2).
+func (p *Proc) Syscall() {
+	p.m.charge(p.m.os.Kernel.Syscall)
+}
+
+// Getpid performs the paper's reference null system call.
+func (p *Proc) Getpid() int {
+	p.Syscall()
+	return p.pid
+}
+
+// rwSyscall charges the cost of a read/write-class system call: the bare
+// trap plus argument validation and file-table work.
+func (p *Proc) rwSyscall() {
+	k := &p.m.os.Kernel
+	p.m.charge(k.Syscall + k.ReadWriteExtra)
+}
+
+// block parks the process until another process (or the kernel) readies
+// it. It must only be called while running.
+func (p *Proc) block() {
+	p.m.trace("block", p.pid, "%s", p.name)
+	p.state = procBlocked
+	p.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
+	p.state = procRunning
+}
+
+// YieldTimeslice gives up the CPU voluntarily, going to the back of the
+// run queue.
+func (p *Proc) YieldTimeslice() {
+	p.m.ready(p)
+	p.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
+	p.state = procRunning
+}
+
+// ChargeFork charges the personality's fork cost (process duplication).
+func (p *Proc) ChargeFork() { p.m.charge(p.m.os.Kernel.Fork) }
+
+// ChargeExec charges the personality's exec cost (program image load).
+func (p *Proc) ChargeExec() { p.m.charge(p.m.os.Kernel.Exec) }

@@ -1,0 +1,163 @@
+package kernel
+
+import "repro/internal/osprofile"
+
+// The three scheduler structures of §5, implemented literally. Each keeps
+// its own ready structure and reports the pick cost its mechanics imply.
+// With the benchmarks' workloads (at most a couple of runnable processes
+// at once) all three pick the same process in the same order — the paper's
+// point is what the *pick itself* costs, and that differs wildly.
+
+// scheduler is the dispatcher interface the machine drives.
+type scheduler interface {
+	// enqueue makes p ready.
+	enqueue(p *Proc)
+	// pick removes and returns the next process to run, plus the virtual
+	// time the pick and switch cost. It returns nil when nothing is
+	// runnable.
+	pick() (*Proc, pickCost)
+	// pending reports whether any process is ready.
+	pending() bool
+}
+
+// pickCost carries the cost components of one dispatch.
+type pickCost struct {
+	// scanned counts the tasks examined (Linux's goodness loop).
+	scanned int
+	// tableMiss reports a dispatch-resource reload (Solaris).
+	tableMiss bool
+}
+
+// newScheduler builds the structure for a personality.
+func newScheduler(m *Machine) scheduler {
+	switch m.os.Kernel.Scheduler {
+	case osprofile.SchedScanAll:
+		return &scanAllSched{m: m}
+	case osprofile.SchedRunQueues:
+		return &runQueueSched{}
+	case osprofile.SchedPreemptiveMT:
+		s := &preemptiveSched{}
+		if m.os.Kernel.CtxTableSize > 0 {
+			s.table = newLRUTable(m.os.Kernel.CtxTableSize)
+		}
+		return s
+	}
+	panic("kernel: unknown scheduler kind")
+}
+
+// scanAllSched is Linux 1.2's schedule(): on every dispatch it walks the
+// whole task list recomputing each runnable task's "goodness" and takes
+// the best. The walk is what Figure 1's linear growth measures.
+type scanAllSched struct {
+	m   *Machine
+	seq uint64
+}
+
+func (s *scanAllSched) enqueue(p *Proc) {
+	s.seq++
+	p.readySeq = s.seq
+	p.ready = true
+}
+
+func (s *scanAllSched) pick() (*Proc, pickCost) {
+	var best *Proc
+	scanned := 0
+	// The real scheduler examines every task in the system, runnable or
+	// not; goodness of a non-runnable task is 0.
+	for _, p := range s.m.procs {
+		if p.state == procDone {
+			continue
+		}
+		scanned++
+		if !p.ready {
+			continue
+		}
+		// Goodness here is FIFO age: the longest-ready task wins,
+		// which preserves the round-robin order the counter-based
+		// goodness of the real scheduler produces for equal-priority
+		// processes.
+		if best == nil || p.readySeq < best.readySeq {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, pickCost{}
+	}
+	best.ready = false
+	return best, pickCost{scanned: scanned}
+}
+
+func (s *scanAllSched) pending() bool {
+	for _, p := range s.m.procs {
+		if p.ready && p.state != procDone {
+			return true
+		}
+	}
+	return false
+}
+
+// runQueueSched is 4.4BSD's constant-time dispatcher: an array of
+// priority queues with a bitmap of non-empty levels; picking is find-
+// first-set plus a dequeue, independent of process count.
+type runQueueSched struct {
+	queues [nQueues][]*Proc
+	bitmap uint32
+	count  int
+}
+
+// nQueues is 4.4BSD's 32 run queues.
+const nQueues = 32
+
+func (s *runQueueSched) enqueue(p *Proc) {
+	q := p.priority % nQueues
+	s.queues[q] = append(s.queues[q], p)
+	s.bitmap |= 1 << q
+	s.count++
+}
+
+func (s *runQueueSched) pick() (*Proc, pickCost) {
+	if s.bitmap == 0 {
+		return nil, pickCost{}
+	}
+	// Find-first-set over the bitmap.
+	q := 0
+	for s.bitmap&(1<<q) == 0 {
+		q++
+	}
+	p := s.queues[q][0]
+	s.queues[q] = s.queues[q][1:]
+	if len(s.queues[q]) == 0 {
+		s.bitmap &^= 1 << q
+	}
+	s.count--
+	return p, pickCost{}
+}
+
+func (s *runQueueSched) pending() bool { return s.count > 0 }
+
+// preemptiveSched is Solaris' dispatcher: constant-time pick from a
+// dispatch queue, but each dispatch consults a bounded per-process
+// mapping resource; reloading a missing entry is the Figure 1 jump.
+type preemptiveSched struct {
+	queue []*Proc
+	table *lruTable
+}
+
+func (s *preemptiveSched) enqueue(p *Proc) {
+	s.queue = append(s.queue, p)
+}
+
+func (s *preemptiveSched) pick() (*Proc, pickCost) {
+	if len(s.queue) == 0 {
+		return nil, pickCost{}
+	}
+	p := s.queue[0]
+	s.queue = s.queue[1:]
+	cost := pickCost{}
+	if s.table != nil && !s.table.touch(p.pid) {
+		cost.tableMiss = true
+	}
+	return p, cost
+}
+
+func (s *preemptiveSched) pending() bool { return len(s.queue) > 0 }

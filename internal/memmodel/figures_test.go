@@ -1,0 +1,103 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+)
+
+// These tests pin the "X resembles Y" relations the paper states between
+// whole figures, point by point across the sweep.
+
+func sweep() []int {
+	return []int{256, 1 << 10, 4 << 10, 8 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+}
+
+func curve(r Routine) []float64 {
+	out := make([]float64, 0, len(sweep()))
+	for _, s := range sweep() {
+		m := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig())
+		out = append(out, m.Bandwidth(r, s))
+	}
+	return out
+}
+
+func TestFigure4ResemblesFigure3(t *testing.T) {
+	// §6.2: the naive custom write results "are very similar to the
+	// system memset() results" at every size.
+	memset, naive := curve(Memset), curve(NaiveWrite)
+	for i, s := range sweep() {
+		if naive[i] < memset[i]*0.85 || naive[i] > memset[i]*1.15 {
+			t.Errorf("at %d bytes: naive %.1f vs memset %.1f", s, naive[i], memset[i])
+		}
+	}
+}
+
+func TestFigure7ResemblesFigure6(t *testing.T) {
+	// §6.3: the naive custom copy resembles memcpy at every size.
+	memcpy, naive := curve(LibcMemcpy), curve(NaiveCopy)
+	for i, s := range sweep() {
+		if naive[i] < memcpy[i]*0.85 || naive[i] > memcpy[i]*1.15 {
+			t.Errorf("at %d bytes: naive %.1f vs memcpy %.1f", s, naive[i], memcpy[i])
+		}
+	}
+}
+
+func TestPrefetchNeverLosesInCache(t *testing.T) {
+	// Within the L1 working set the prefetching variants must dominate
+	// their naive counterparts by a wide margin.
+	for _, pair := range [][2]Routine{{NaiveWrite, PrefetchWrite}, {NaiveCopy, PrefetchCopy}} {
+		for _, size := range []int{1 << 10, 2 << 10} {
+			m1 := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig())
+			m2 := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig())
+			naive := m1.Bandwidth(pair[0], size)
+			pref := m2.Bandwidth(pair[1], size)
+			if pref < 3*naive {
+				t.Errorf("%v at %d: %.1f not ≫ naive %.1f", pair[1], size, pref, naive)
+			}
+		}
+	}
+}
+
+func TestReadKneesAtCacheSizes(t *testing.T) {
+	// The knees must sit at the cache capacities: bandwidth just inside
+	// each level is much higher than just outside.
+	in8k := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig()).Bandwidth(CustomRead, 8<<10)
+	out8k := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig()).Bandwidth(CustomRead, 12<<10)
+	if in8k < 2*out8k {
+		t.Errorf("no L1 knee: %.1f inside vs %.1f outside", in8k, out8k)
+	}
+	in256k := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig()).Bandwidth(CustomRead, 255<<10)
+	out256k := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig()).Bandwidth(CustomRead, 384<<10)
+	if in256k < 1.2*out256k {
+		t.Errorf("no L2 knee: %.1f inside vs %.1f outside", in256k, out256k)
+	}
+}
+
+func TestHierarchyStatsExposed(t *testing.T) {
+	m := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig())
+	m.Bandwidth(Memset, 64<<10)
+	st := m.Hierarchy().Stats()
+	if st.MemWordWrites == 0 {
+		t.Fatal("memset should report bus writes")
+	}
+	if st.PrefetchesIssued != 0 {
+		t.Fatal("memset issues no prefetches")
+	}
+	m2 := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig())
+	m2.Bandwidth(PrefetchWrite, 64<<10)
+	if m2.Hierarchy().Stats().PrefetchesIssued == 0 {
+		t.Fatal("prefetch write issued no prefetches")
+	}
+}
+
+func TestUnknownRoutinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown routine did not panic")
+		}
+	}()
+	m := NewModel(cpu.PentiumP54C100(), cache.PentiumConfig())
+	m.Bandwidth(Routine(42), 1024)
+}

@@ -1,0 +1,32 @@
+package netstack_test
+
+import (
+	"fmt"
+
+	"repro/internal/netstack"
+	"repro/internal/osprofile"
+)
+
+// Example reproduces Table 5's headline: Linux 1.2.8's one-packet TCP
+// window throttles it to a fraction of FreeBSD's bandwidth, and widening
+// the window (ablation A5) recovers the loss.
+func Example() {
+	const transfer = 3 << 20 // lmbench bw_tcp: 3 MB
+
+	fb := netstack.NewTCP(osprofile.FreeBSD205())
+	fmt.Printf("FreeBSD, %2d-packet window: %5.1f Mb/s\n",
+		fb.Window(), netstack.BandwidthMbps(transfer, fb.Transfer(transfer)))
+
+	lx := netstack.NewTCP(osprofile.Linux128())
+	fmt.Printf("Linux,   %2d-packet window: %5.1f Mb/s\n",
+		lx.Window(), netstack.BandwidthMbps(transfer, lx.Transfer(transfer)))
+
+	lx.WindowOverride = 16
+	fmt.Printf("Linux,   %2d-packet window: %5.1f Mb/s\n",
+		lx.Window(), netstack.BandwidthMbps(transfer, lx.Transfer(transfer)))
+
+	// Output:
+	// FreeBSD, 11-packet window:  66.1 Mb/s
+	// Linux,    1-packet window:  24.8 Mb/s
+	// Linux,   16-packet window:  44.5 Mb/s
+}

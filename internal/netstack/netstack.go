@@ -1,0 +1,178 @@
+// Package netstack models the network protocol implementations of §9: UDP
+// and TCP over the loopback interface, plus the 10 Mb/s Ethernet link used
+// by the NFS experiments of §10.
+//
+// The paper benchmarks loopback deliberately ("we wanted to measure the
+// best possible performance"), so UDP and TCP throughput here is purely a
+// function of protocol-stack CPU costs: per-packet processing, data
+// copies, and — decisive for Linux 1.2.8 — the TCP send window. The TCP
+// model is a genuine sliding-window simulation: the sender spends CPU per
+// segment until the window closes, control switches to the receiver, which
+// consumes segments and acknowledges, reopening the window. Setting the
+// window to one packet reproduces Linux's collapse in Table 5; widening it
+// is ablation A5.
+package netstack
+
+import (
+	"fmt"
+
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// UDP models a datagram path between two processes over loopback.
+type UDP struct {
+	os *osprofile.Profile
+}
+
+// NewUDP builds the UDP model for a personality.
+func NewUDP(p *osprofile.Profile) *UDP { return &UDP{os: p} }
+
+// PacketTime returns the CPU time one datagram of the given payload size
+// consumes end to end: sender syscall and packetisation, the copies down
+// and up (the per-KB constant already aggregates the path's copy count —
+// Linux's includes its two unnecessary extra copies), and receiver
+// delivery.
+func (u *UDP) PacketTime(size int) sim.Duration {
+	if size <= 0 {
+		panic("netstack: datagram size must be positive")
+	}
+	if size > u.os.Net.UDPMaxDatagram {
+		panic(fmt.Sprintf("netstack: datagram %d exceeds max %d", size, u.os.Net.UDPMaxDatagram))
+	}
+	n := &u.os.Net
+	t := n.UDPPerPacket
+	t += sim.Duration(int64(n.UDPCopyPerKB) * int64(size) / 1024)
+	// Both endpoints pay syscall entry.
+	t += 2 * (u.os.Kernel.Syscall + u.os.Kernel.ReadWriteExtra)
+	return t
+}
+
+// Transfer returns the time to move totalBytes in datagrams of the given
+// size (the ttcp workload: 4 MB per iteration, §9.2).
+func (u *UDP) Transfer(totalBytes, packetSize int) sim.Duration {
+	if totalBytes <= 0 {
+		panic("netstack: transfer size must be positive")
+	}
+	var t sim.Duration
+	for sent := 0; sent < totalBytes; {
+		n := packetSize
+		if rem := totalBytes - sent; n > rem {
+			n = rem
+		}
+		t += u.PacketTime(n)
+		sent += n
+	}
+	return t
+}
+
+// BandwidthMbps converts a transfer into megabits per second.
+func BandwidthMbps(bytes int, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e6
+}
+
+// TCP models a stream connection between two local processes.
+type TCP struct {
+	os *osprofile.Profile
+	// WindowOverride, when positive, replaces the personality's window
+	// (ablation A5). Zero means use the profile.
+	WindowOverride int
+}
+
+// NewTCP builds the TCP model for a personality.
+func NewTCP(p *osprofile.Profile) *TCP { return &TCP{os: p} }
+
+// Window returns the effective send window in packets.
+func (t *TCP) Window() int {
+	if t.WindowOverride > 0 {
+		return t.WindowOverride
+	}
+	return t.os.Net.TCPWindowPackets
+}
+
+// segTime is the CPU cost of processing one MSS-sized segment through one
+// endpoint pair (send-side formation plus receive-side delivery).
+func (t *TCP) segTime(payload int) sim.Duration {
+	n := &t.os.Net
+	return n.TCPPerPacket + sim.Duration(int64(n.TCPCopyPerKB)*int64(payload)/1024)
+}
+
+// Transfer simulates moving totalBytes through the connection and returns
+// the elapsed time. The simulation walks the sliding window: the sender
+// emits segments while it has window credit; when the window closes, the
+// scheduler switches to the receiver, which drains the in-flight segments,
+// acknowledges (AckCost), and control returns to the sender (a second
+// switch).
+func (t *TCP) Transfer(totalBytes int) sim.Duration {
+	if totalBytes <= 0 {
+		panic("netstack: transfer size must be positive")
+	}
+	n := &t.os.Net
+	k := &t.os.Kernel
+	window := t.Window()
+	if window <= 0 {
+		panic("netstack: window must be positive")
+	}
+	switchCost := k.CtxBase
+	if k.Scheduler == osprofile.SchedScanAll {
+		switchCost += sim.Duration(2 * int64(k.CtxPerTask))
+	}
+
+	var elapsed sim.Duration
+	remaining := totalBytes
+	credit := window
+	inFlight := 0
+	for remaining > 0 || inFlight > 0 {
+		if remaining > 0 && credit > 0 {
+			payload := n.MSS
+			if payload > remaining {
+				payload = remaining
+			}
+			elapsed += t.segTime(payload)
+			remaining -= payload
+			credit--
+			inFlight++
+			continue
+		}
+		// Window closed (or data exhausted): switch to the receiver,
+		// which drains everything in flight and acks cumulatively, then
+		// switch back.
+		elapsed += switchCost
+		elapsed += n.AckCost
+		elapsed += switchCost
+		credit += inFlight
+		inFlight = 0
+	}
+	return elapsed
+}
+
+// Link models the shared 10 Mb/s Ethernet between NFS client and server.
+type Link struct {
+	// BandwidthMbps is the wire rate.
+	BandwidthMbps float64
+	// FrameOverhead is per-frame latency: preamble, inter-frame gap,
+	// driver work on both ends.
+	FrameOverhead sim.Duration
+	// MTU is the maximum frame payload.
+	MTU int
+}
+
+// Ethernet10 returns the paper machine's 3Com Etherlink III on a 10 Mb/s
+// segment.
+func Ethernet10() *Link {
+	return &Link{BandwidthMbps: 10, FrameOverhead: 120 * sim.Microsecond, MTU: 1500}
+}
+
+// TransmitTime returns the wire time for a payload of the given size,
+// including fragmentation into MTU-sized frames.
+func (l *Link) TransmitTime(bytes int) sim.Duration {
+	if bytes <= 0 {
+		panic("netstack: transmit of non-positive size")
+	}
+	frames := (bytes + l.MTU - 1) / l.MTU
+	wire := sim.Duration(float64(bytes) * 8 / (l.BandwidthMbps * 1e6) * float64(sim.Second))
+	return wire + sim.Duration(frames)*l.FrameOverhead
+}

@@ -1,0 +1,25 @@
+package osprofile
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadJSON feeds arbitrary bytes to the profile loader: it must never
+// panic, and anything it accepts must validate.
+func FuzzLoadJSON(f *testing.F) {
+	f.Add(`[]`)
+	f.Add(`[{"Name":"X","Version":"1"}]`)
+	f.Add(`[{"Kernel":{"Scheduler":"scan-all","Syscall":"2.31µs"}}]`)
+	f.Fuzz(func(t *testing.T, src string) {
+		ps, err := LoadJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, p := range ps {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("LoadJSON accepted an invalid profile: %v", err)
+			}
+		}
+	})
+}

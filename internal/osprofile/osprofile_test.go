@@ -1,0 +1,195 @@
+package osprofile
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPaperOrder(t *testing.T) {
+	ps := Paper()
+	if len(ps) != 3 {
+		t.Fatalf("Paper() returned %d profiles, want 3", len(ps))
+	}
+	want := []string{"Linux 1.2.8", "FreeBSD 2.0.5R", "Solaris 2.4"}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("Paper()[%d] = %q, want %q", i, p.String(), want[i])
+		}
+	}
+}
+
+func TestSyscallOrdering(t *testing.T) {
+	// Table 2: Linux < FreeBSD < Solaris.
+	l, f, s := Linux128(), FreeBSD205(), Solaris24()
+	if !(l.Kernel.Syscall < f.Kernel.Syscall && f.Kernel.Syscall < s.Kernel.Syscall) {
+		t.Errorf("syscall ordering wrong: %v %v %v",
+			l.Kernel.Syscall, f.Kernel.Syscall, s.Kernel.Syscall)
+	}
+}
+
+func TestMetadataPolicies(t *testing.T) {
+	if Linux128().FS.MetaPolicy != MetaAsync {
+		t.Error("ext2fs must be asynchronous (§7.2)")
+	}
+	if FreeBSD205().FS.MetaPolicy != MetaSync || Solaris24().FS.MetaPolicy != MetaSync {
+		t.Error("both FFS derivatives must be synchronous (§7.2)")
+	}
+	if FreeBSD21().FS.MetaPolicy != MetaOrderedAsync {
+		t.Error("FreeBSD 2.1 anticipates ordered async metadata (§13)")
+	}
+}
+
+func TestFreeBSDIssuesMoreMetadataWrites(t *testing.T) {
+	// §7.2: FreeBSD "accesses the disk more than is necessary or seeks
+	// further" compared with Solaris.
+	f, s := FreeBSD205().FS, Solaris24().FS
+	fbsd := f.SyncWritesPerCreate + f.SyncWritesPerUnlink
+	sol := s.SyncWritesPerCreate + s.SyncWritesPerUnlink
+	if fbsd <= sol && f.MetaSeekSpread <= s.MetaSeekSpread {
+		t.Errorf("FreeBSD (%d writes, spread %d) must exceed Solaris (%d, %d) in at least one dimension",
+			fbsd, f.MetaSeekSpread, sol, s.MetaSeekSpread)
+	}
+}
+
+func TestLinuxTCPWindowIsOnePacket(t *testing.T) {
+	if w := Linux128().Net.TCPWindowPackets; w != 1 {
+		t.Errorf("Linux 1.2.8 TCP window = %d packets, paper says 1 (§9.3)", w)
+	}
+	if w := FreeBSD205().Net.TCPWindowPackets; w <= 1 {
+		t.Errorf("FreeBSD window = %d, must be a real window", w)
+	}
+}
+
+func TestSchedulers(t *testing.T) {
+	if Linux128().Kernel.Scheduler != SchedScanAll {
+		t.Error("Linux 1.2 scheduler scans the task list (§5)")
+	}
+	if Linux128().Kernel.CtxPerTask <= 0 {
+		t.Error("SchedScanAll needs a positive per-task cost")
+	}
+	if FreeBSD205().Kernel.Scheduler != SchedRunQueues {
+		t.Error("FreeBSD scheduler is constant-time (§5)")
+	}
+	if s := Solaris24().Kernel; s.Scheduler != SchedPreemptiveMT || s.CtxTableSize != 32 {
+		t.Error("Solaris needs the 32-entry mapping resource (§5, Figure 1)")
+	}
+}
+
+func TestSolarisPipeRoundTrip(t *testing.T) {
+	// §5: a byte through a pipe and back to the same process took 80 µs
+	// on Solaris; that is two read/write class syscalls.
+	s := Solaris24().Kernel
+	rt := 2 * (s.Syscall + s.ReadWriteExtra)
+	if rt < 75*sim.Microsecond || rt > 85*sim.Microsecond {
+		t.Errorf("Solaris self-pipe round trip = %v, want ~80µs", rt)
+	}
+}
+
+func TestSolarisCtxAtTwoProcs(t *testing.T) {
+	// §5: Solaris two-process context switch is 220 µs including the
+	// 80 µs of pipe operations.
+	s := Solaris24().Kernel
+	perHop := 2*(s.Syscall+s.ReadWriteExtra) + s.PipeWake + s.CtxBase
+	if perHop < 215*sim.Microsecond || perHop > 225*sim.Microsecond {
+		t.Errorf("Solaris 2-process ctx hop = %v, want ~220µs", perHop)
+	}
+}
+
+func TestNFSPolicies(t *testing.T) {
+	if Linux128().NFS.ServerSyncWrites {
+		t.Error("Linux 1.2.8 NFS server answers from cache (§10)")
+	}
+	if !SunOS414().NFS.ServerSyncWrites {
+		t.Error("SunOS NFS server follows the spec's sync writes (§10)")
+	}
+	if !Linux128().NFS.RequiresPrivPort {
+		t.Error("Linux 1.2.8 server requires privileged client ports (§11)")
+	}
+	if FreeBSD205().NFS.SendsPrivPort {
+		t.Error("FreeBSD 2.0.5 clients do not bind privileged ports by default (§11)")
+	}
+	l := Linux128().NFS
+	if l.ForeignTransferSize >= l.TransferSize {
+		t.Error("Linux client must degrade against foreign servers (§10)")
+	}
+}
+
+func TestAttrCacheOnlyFreeBSD(t *testing.T) {
+	if !FreeBSD205().FS.AttrCache {
+		t.Error("FreeBSD keeps a separate attribute cache (§8.1)")
+	}
+	if Linux128().FS.AttrCache {
+		t.Error("Linux does not have a separate attribute cache (§8.1)")
+	}
+}
+
+func TestSolarisTCPNoiseIsLarge(t *testing.T) {
+	// Table 5: Solaris TCP Std Dev 16.34%.
+	if n := Solaris24().Net.TCPNoise; n < 0.15 || n > 0.18 {
+		t.Errorf("Solaris TCP noise = %v, want ~0.1634", n)
+	}
+}
+
+func TestAllProfilesComplete(t *testing.T) {
+	for _, p := range All() {
+		if p.Name == "" || p.Version == "" || p.Lineage == "" {
+			t.Errorf("%q: missing identity fields", p.String())
+		}
+		if p.Kernel.Syscall <= 0 {
+			t.Errorf("%s: non-positive syscall cost", p)
+		}
+		if p.Kernel.PipeCapacity <= 0 {
+			t.Errorf("%s: non-positive pipe capacity", p)
+		}
+		if p.FS.ReadPerKB <= 0 || p.FS.WritePerKB <= 0 {
+			t.Errorf("%s: non-positive FS copy costs", p)
+		}
+		if p.FS.SeqReadEff <= 0 || p.FS.SeqReadEff > 1 || p.FS.SeqWriteEff <= 0 || p.FS.SeqWriteEff > 1 {
+			t.Errorf("%s: sequential efficiencies must be in (0,1]", p)
+		}
+		if p.FS.BufferCacheMB <= 0 || p.FS.BufferCacheMB >= 32 {
+			t.Errorf("%s: buffer cache %d MB implausible on a 32 MB machine", p, p.FS.BufferCacheMB)
+		}
+		if p.Net.MSS <= 0 || p.Net.TCPWindowPackets <= 0 {
+			t.Errorf("%s: invalid TCP geometry", p)
+		}
+		if p.NFS.TransferSize <= 0 || p.NFS.ForeignTransferSize <= 0 {
+			t.Errorf("%s: invalid NFS transfer sizes", p)
+		}
+		if p.Noise.Syscall < 0 || p.Noise.MAB <= 0 {
+			t.Errorf("%s: noise levels incomplete", p)
+		}
+	}
+}
+
+func TestFutureProfilesImprove(t *testing.T) {
+	// §13's previews must actually be faster in the dimensions named.
+	if Linux1340().Kernel.CtxBase >= Linux128().Kernel.CtxBase {
+		t.Error("Linux 1.3.40 must context switch faster than 1.2.8")
+	}
+	if Solaris25().Kernel.CtxBase >= Solaris24().Kernel.CtxBase {
+		t.Error("Solaris 2.5 must context switch faster than 2.4")
+	}
+}
+
+func TestMetaPolicyStrings(t *testing.T) {
+	for p, want := range map[MetaPolicy]string{
+		MetaSync:         "synchronous",
+		MetaAsync:        "asynchronous",
+		MetaOrderedAsync: "ordered-asynchronous",
+		MetaPolicy(9):    "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("MetaPolicy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestProfilesAreIndependentCopies(t *testing.T) {
+	a, b := Linux128(), Linux128()
+	a.Kernel.Syscall = 0
+	if b.Kernel.Syscall == 0 {
+		t.Fatal("profile constructors must return independent values")
+	}
+}

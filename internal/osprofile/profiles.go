@@ -1,0 +1,321 @@
+package osprofile
+
+import "repro/internal/sim"
+
+// µs is a readability helper for the calibrated constants below.
+const µs = sim.Microsecond
+
+// Linux128 returns the personality of Linux 1.2.8 (Slackware), the paper's
+// Linux under test.
+//
+// Structure the paper reports: a slightly more optimized syscall path than
+// FreeBSD's; a scheduler that scans an O(n) task list on every switch
+// (fastest below ~20 processes, linear above); ext2fs with asynchronous
+// metadata updates (an order of magnitude faster on small-file workloads);
+// the best pipe bandwidth; a UDP path burdened by unnecessary copies and
+// inefficient buffer allocation; a TCP window of a single packet; and an
+// NFS client tuned for Linux servers that collapses against others.
+func Linux128() *Profile {
+	return &Profile{
+		Name:    "Linux",
+		Version: "1.2.8",
+		Lineage: "independent implementation (Posix.1ish, BSD+SysV features)",
+		Kernel: KernelCosts{
+			Scheduler:      SchedScanAll,
+			Syscall:        2310 * sim.Nanosecond, // Table 2: 2.31 µs
+			ReadWriteExtra: 2700 * sim.Nanosecond,
+			CtxBase:        34 * µs,
+			CtxPerTask:     1400 * sim.Nanosecond,
+			PipeWake:       8 * µs,
+			PipeCopyPerKB:  22 * µs,
+			PipeCapacity:   4096,
+			Fork:           1900 * µs,
+			Exec:           4200 * µs,
+		},
+		FS: FSCosts{
+			Type:                "ext2fs",
+			MetaPolicy:          MetaAsync,
+			SyncWritesPerCreate: 0,
+			SyncWritesPerUnlink: 0,
+			SyncWritesPerMkdir:  0,
+			MetaSeekSpread:      8,
+			MetaWriteBytes:      1024,
+			ReadPerKB:           52 * µs,
+			WritePerKB:          60 * µs,
+			AllocPerCall:        2200 * µs,
+			RandomIOOverhead:    120 * µs,
+			OpFixed:             40 * µs,
+			SeqReadEff:          0.55,
+			SeqWriteEff:         0.35,
+			BufferCacheMB:       20,
+			DirtyLimitMB:        8,
+			AttrCache:           false,
+		},
+		Net: NetCosts{
+			UDPPerPacket:     450 * µs,
+			UDPCopyPerKB:     455 * µs,
+			TCPPerPacket:     80 * µs,
+			TCPCopyPerKB:     118 * µs,
+			TCPWindowPackets: 1, // §9.3: "a TCP window of only one packet"
+			MSS:              1460,
+			AckCost:          150 * µs,
+			TCPNoise:         0.0545,
+			UDPMaxDatagram:   65507,
+		},
+		NFS: NFSCosts{
+			ClientPerRPC:        400 * µs,
+			TransferSize:        4096,
+			ForeignTransferSize: 2048,
+			Pipelined:           false,
+			ClientCachesData:    false,
+			AttrCacheTTL:        0,
+			ServerPerRPC:        300 * µs,
+			ServerSyncWrites:    false, // §10: keeps its asynchronous policy
+			RequiresPrivPort:    true,  // §11
+			SendsPrivPort:       true,
+		},
+		Noise: Noise{
+			Syscall: 0.0010,
+			Ctx:     0.03,
+			Mem:     0.01,
+			FS:      0.035,
+			MAB:     0.0410,
+			Pipe:    0.0160,
+			UDP:     0.05,
+			NFS:     0.0220,
+		},
+	}
+}
+
+// FreeBSD205 returns the personality of FreeBSD 2.0.5R.
+//
+// Structure the paper reports: 4.4BSD-lite ancestry; constant-time
+// scheduling (flat context-switch curve); FFS with synchronous metadata
+// updates that issues more (or farther) metadata writes than Solaris; a
+// separate attribute cache that wins MAB's stat phase; and the best
+// network stack of the three.
+func FreeBSD205() *Profile {
+	return &Profile{
+		Name:    "FreeBSD",
+		Version: "2.0.5R",
+		Lineage: "4.4BSD-lite (CSRG, U.C. Berkeley)",
+		Kernel: KernelCosts{
+			Scheduler:      SchedRunQueues,
+			Syscall:        2620 * sim.Nanosecond, // Table 2: 2.62 µs
+			ReadWriteExtra: 2900 * sim.Nanosecond,
+			CtxBase:        58 * µs,
+			PipeWake:       10 * µs,
+			PipeCopyPerKB:  33 * µs,
+			PipeCapacity:   8192,
+			Fork:           4000 * µs,
+			Exec:           10000 * µs,
+		},
+		FS: FSCosts{
+			Type:                "ufs (4.4BSD FFS)",
+			MetaPolicy:          MetaSync,
+			SyncWritesPerCreate: 2,
+			SyncWritesPerUnlink: 6, // §7.2: "accesses the disk more than is necessary"
+			SyncWritesPerMkdir:  2,
+			MetaSeekSpread:      40,   // "... or seeks further" (§7.2)
+			MetaWriteBytes:      4096, // FFS rewrites half-blocks
+			ReadPerKB:           46 * µs,
+			WritePerKB:          83 * µs,
+			AllocPerCall:        180 * µs,
+			RandomIOOverhead:    400 * µs,
+			OpFixed:             100 * µs,
+			SeqReadEff:          0.80,
+			SeqWriteEff:         0.80,
+			BufferCacheMB:       20,
+			DirtyLimitMB:        8, // Figure 10: the 8 MB write knee
+			AttrCache:           true,
+		},
+		Net: NetCosts{
+			UDPPerPacket:     300 * µs,
+			UDPCopyPerKB:     133 * µs,
+			TCPPerPacket:     50 * µs,
+			TCPCopyPerKB:     75 * µs,
+			TCPWindowPackets: 11, // 16 KB socket buffer / MSS
+			MSS:              1460,
+			AckCost:          100 * µs,
+			TCPNoise:         0.0236,
+			UDPMaxDatagram:   65507,
+		},
+		NFS: NFSCosts{
+			ClientPerRPC:           250 * µs,
+			TransferSize:           8192,
+			ForeignTransferSize:    8192,
+			Pipelined:              true,
+			ClientCachesData:       true,
+			ClientCacheMB:          4,
+			AttrCacheTTL:           3 * sim.Second,
+			ServerPerRPC:           280 * µs,
+			ServerSyncMetaPerWrite: 1,
+			ServerSyncWrites:       true,
+			RequiresPrivPort:       false,
+			SendsPrivPort:          false, // §11: not by default
+		},
+		Noise: Noise{
+			Syscall: 0.0008,
+			Ctx:     0.04,
+			Mem:     0.01,
+			FS:      0.030,
+			MAB:     0.0102,
+			Pipe:    0.0279,
+			UDP:     0.04,
+			NFS:     0.0087,
+		},
+	}
+}
+
+// Solaris24 returns the personality of Solaris 2.4 (x86).
+//
+// Structure the paper reports: System V ancestry with a fully preemptive
+// multi-threaded kernel whose extra bookkeeping slows system calls and
+// context switches; an x86-specific 32-entry per-process mapping resource
+// whose overflow produces the Figure 1 jump; STREAMS-based pipes (slowest
+// of the three); SVR4 UFS with synchronous metadata but fewer/closer
+// writes than FreeBSD; the best out-of-cache sequential reads; and a
+// mid-pack network stack with strikingly unstable TCP throughput.
+func Solaris24() *Profile {
+	return &Profile{
+		Name:    "Solaris",
+		Version: "2.4",
+		Lineage: "System V release 4 (Sun Microsystems)",
+		Kernel: KernelCosts{
+			Scheduler:      SchedPreemptiveMT,
+			Syscall:        3520 * sim.Nanosecond,  // Table 2: 3.52 µs
+			ReadWriteExtra: 36480 * sim.Nanosecond, // 40 µs pipe ops: §5's 80 µs self-pipe round trip
+			CtxBase:        125 * µs,               // §5: 220 µs at 2 procs = 80 µs pipe ops + wake + this
+			CtxTableSize:   32,
+			CtxTableMiss:   130 * µs,
+			PipeWake:       15 * µs,
+			PipeCopyPerKB:  42 * µs, // STREAMS message allocation on the data path
+			PipeCapacity:   8192,
+			Fork:           12000 * µs,
+			Exec:           48000 * µs, // dynamic linking makes SVR4 exec of big images slow
+		},
+		FS: FSCosts{
+			Type:                "ufs (SVR4 FFS derivative)",
+			MetaPolicy:          MetaSync,
+			SyncWritesPerCreate: 2,
+			SyncWritesPerUnlink: 3,
+			SyncWritesPerMkdir:  2,
+			MetaSeekSpread:      8,
+			MetaWriteBytes:      1024, // SVR4 UFS writes fragments
+			ReadPerKB:           50 * µs,
+			WritePerKB:          83 * µs,
+			AllocPerCall:        560 * µs,
+			RandomIOOverhead:    60 * µs,
+			OpFixed:             80 * µs,
+			SeqReadEff:          0.90, // §7.1: best read bandwidth outside the cache
+			SeqWriteEff:         0.75,
+			BufferCacheMB:       20,
+			DirtyLimitMB:        8,
+			AttrCache:           false,
+		},
+		Net: NetCosts{
+			UDPPerPacket:     400 * µs,
+			UDPCopyPerKB:     206 * µs,
+			TCPPerPacket:     60 * µs,
+			TCPCopyPerKB:     77 * µs,
+			TCPWindowPackets: 16,
+			MSS:              1460,
+			AckCost:          100 * µs,
+			TCPNoise:         0.1634, // Table 5's extraordinary Std Dev
+			UDPMaxDatagram:   65507,
+		},
+		NFS: NFSCosts{
+			ClientPerRPC:           300 * µs,
+			TransferSize:           8192,
+			ForeignTransferSize:    4096,
+			Pipelined:              true,
+			ClientCachesData:       true,
+			ClientCacheMB:          5,
+			SerializesSyncWrites:   true,
+			AttrCacheTTL:           3 * sim.Second,
+			ServerPerRPC:           320 * µs,
+			ServerSyncMetaPerWrite: 1,
+			ServerSyncWrites:       true,
+			RequiresPrivPort:       false,
+			SendsPrivPort:          true,
+		},
+		Noise: Noise{
+			Syscall: 0.0295,
+			Ctx:     0.09,
+			Mem:     0.01,
+			FS:      0.040,
+			MAB:     0.0193,
+			Pipe:    0.0156,
+			UDP:     0.05,
+			NFS:     0.0136,
+		},
+	}
+}
+
+// SunOS414 returns the personality of SunOS 4.1.4, which appears in the
+// paper only as the second NFS server (Table 7). Its client-side and local
+// parameters are reasonable 1995 values but are not exercised by the
+// paper's experiments.
+func SunOS414() *Profile {
+	p := Solaris24()
+	p.Name, p.Version = "SunOS", "4.1.4"
+	p.Lineage = "4.3BSD derivative (Sun Microsystems)"
+	p.NFS.ServerPerRPC = 350 * µs
+	// §10: "The SunOS file server uses a synchronous update policy, as
+	// required by the NFS specifications."
+	p.NFS.ServerSyncWrites = true
+	return p
+}
+
+// Linux1340 returns the §13 "future work" Linux development kernel: very
+// fast context switching (10 µs at two processes) with very little
+// slowdown as processes are added, and improved NFS.
+func Linux1340() *Profile {
+	p := Linux128()
+	p.Version = "1.3.40 (development)"
+	p.Kernel.CtxBase = 7 * µs
+	p.Kernel.CtxPerTask = 50 * sim.Nanosecond
+	p.NFS.ClientPerRPC = 250 * µs
+	p.NFS.ForeignTransferSize = 4096
+	p.NFS.Pipelined = true
+	// The 1.3 series also rewrote the TCP path; give it a real window.
+	p.Net.TCPWindowPackets = 8
+	return p
+}
+
+// FreeBSD21 returns the §13 "future work" FreeBSD: ordered asynchronous
+// metadata updates to fix small-file performance while preserving
+// crash consistency.
+func FreeBSD21() *Profile {
+	p := FreeBSD205()
+	p.Version = "2.1 (anticipated)"
+	p.FS.MetaPolicy = MetaOrderedAsync
+	return p
+}
+
+// Solaris25 returns the §13 "future work" Solaris: faster context
+// switching and better performance in general.
+func Solaris25() *Profile {
+	p := Solaris24()
+	p.Version = "2.5 (anticipated)"
+	p.Kernel.Syscall = 3000 * sim.Nanosecond
+	p.Kernel.CtxBase = 90 * µs
+	p.Kernel.CtxTableMiss = 90 * µs
+	p.Kernel.ReadWriteExtra = 25 * µs
+	return p
+}
+
+// Paper returns the three systems of the study in the paper's canonical
+// order: Linux, FreeBSD, Solaris.
+func Paper() []*Profile {
+	return []*Profile{Linux128(), FreeBSD205(), Solaris24()}
+}
+
+// All returns every personality this package defines, the paper's three
+// first.
+func All() []*Profile {
+	return []*Profile{
+		Linux128(), FreeBSD205(), Solaris24(),
+		SunOS414(), Linux1340(), FreeBSD21(), Solaris25(),
+	}
+}

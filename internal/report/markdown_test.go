@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMarkdownTables(t *testing.T) {
+	var b strings.Builder
+	Markdown(&b, []*core.Result{tableResult()})
+	out := b.String()
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"## T2 — System Call (getpid)",
+		"| System | Measured (µs) | σ% | Paper (µs) | Paper σ% | Ratio |",
+		"| Linux 1.2.8 | 2.31 |",
+		"Shape claims reproduced:",
+		"- Linux leads.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Series without a paper expectation get dashes.
+	if !strings.Contains(out, "| FreeBSD 2.0.5R | 2.62 |") || !strings.Contains(out, "| — | — | — |") {
+		t.Errorf("missing dash row:\n%s", out)
+	}
+}
+
+func TestMarkdownTableWithoutExpectations(t *testing.T) {
+	r := tableResult()
+	r.Expected = nil
+	var b strings.Builder
+	Markdown(&b, []*core.Result{r})
+	if strings.Contains(b.String(), "Paper (") {
+		t.Error("no-expectation table should omit paper columns")
+	}
+	if !strings.Contains(b.String(), "| System | Measured (µs) | σ% |") {
+		t.Error("plain header missing")
+	}
+}
+
+func TestMarkdownFigures(t *testing.T) {
+	r := figureResult()
+	r.Expected = []core.Expectation{
+		{Label: "FreeBSD peak", Mean: 48},
+		{Label: "σ landmark", Mean: 80, StdDevPct: 4},
+	}
+	var b strings.Builder
+	Markdown(&b, []*core.Result{r})
+	out := b.String()
+	for _, want := range []string{
+		"| Series | First (Mb/s) | Peak (Mb/s) | Last (Mb/s) |",
+		"| FreeBSD 2.0.5R | 20.00 | 48.00 | 48.00 |",
+		"Paper landmarks:",
+		"- FreeBSD peak: ~48 Mb/s",
+		"- σ landmark: 80.00 Mb/s (σ 4.00%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownClaimsSection(t *testing.T) {
+	var b strings.Builder
+	MarkdownClaims(&b, []ClaimLine{
+		{ID: "C01", Exhibit: "T2", Statement: "ordering holds", Passed: true},
+		{ID: "C02", Exhibit: "F1", Statement: "flat line", Passed: false, Err: "slope, detected"},
+	})
+	out := b.String()
+	if !strings.Contains(out, "| C01 | T2 | pass | ordering holds |") {
+		t.Errorf("pass row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "**FAIL**: slope; detected") {
+		t.Errorf("failure row (with sanitised comma) missing:\n%s", out)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	for v, want := range map[float64]string{
+		64:      "64",
+		2048:    "2K",
+		8 << 20: "8M",
+	} {
+		if got := humanBytes(v); got != want {
+			t.Errorf("humanBytes(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestScaleXLinear(t *testing.T) {
+	if scaleX(5, false) != 5 {
+		t.Error("linear scale must be identity")
+	}
+	if scaleX(8, true) != 3 {
+		t.Error("log2(8) != 3")
+	}
+	if scaleX(0, true) != 0 {
+		t.Error("log scale of 0 should pass through")
+	}
+}

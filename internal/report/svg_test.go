@@ -1,0 +1,75 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// xmlWellFormed parses the document with encoding/xml to catch attribute
+// and nesting errors.
+func xmlWellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestSVGFigure(t *testing.T) {
+	var b strings.Builder
+	SVG(&b, figureResult())
+	doc := b.String()
+	xmlWellFormed(t, doc)
+	for _, want := range []string{
+		"<svg", "polyline", "circle", "F13 — UDP Bandwidth",
+		"FreeBSD 2.0.5R", "Linux 1.2.8", "Mb/s",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(doc, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSVGTableBars(t *testing.T) {
+	var b strings.Builder
+	SVG(&b, tableResult())
+	doc := b.String()
+	xmlWellFormed(t, doc)
+	// Two rows → at least two bars (rect beyond the background).
+	if got := strings.Count(doc, "<rect"); got < 3 {
+		t.Errorf("rects = %d, want background + 2 bars", got)
+	}
+	if !strings.Contains(doc, "Linux 1.2.8") {
+		t.Error("bar labels missing")
+	}
+}
+
+func TestSVGEmptyResult(t *testing.T) {
+	var b strings.Builder
+	SVG(&b, &core.Result{ID: "X", Title: "empty", Kind: core.Figure})
+	xmlWellFormed(t, b.String())
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	r := figureResult()
+	r.Title = `Angle <brackets> & "quotes"`
+	var b strings.Builder
+	SVG(&b, r)
+	xmlWellFormed(t, b.String())
+	if strings.Contains(b.String(), "<brackets>") {
+		t.Error("title not escaped")
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Duration marshals as a human-readable string ("2.31µs") so that
+// serialized OS personalities are readable and editable; it accepts
+// either that form or a raw nanosecond count when unmarshalling.
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.Std().String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("sim: bad duration %q: %v", s, err)
+		}
+		*d = DurationOf(parsed)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("sim: duration must be a string like \"80µs\" or nanoseconds: %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}

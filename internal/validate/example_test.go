@@ -1,0 +1,22 @@
+package validate_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/validate"
+)
+
+// Example evaluates one of the paper's claims against a fresh run of its
+// exhibit.
+func Example() {
+	claims := validate.Claims()
+	c := claims[0] // C01: the Table 2 syscall ordering
+	exp, _ := core.Lookup(c.Exhibit)
+	cfg := core.DefaultConfig()
+	cfg.Runs = 5
+	err := c.Check(exp.Run(cfg))
+	fmt.Printf("%s holds: %v\n", c.ID, err == nil)
+	// Output:
+	// C01 holds: true
+}

@@ -1,0 +1,69 @@
+package workload
+
+import "fmt"
+
+// Builtin returns a named built-in trace, or an error listing the
+// available names.
+func Builtin(name string) (*Trace, error) {
+	text, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: no builtin trace %q (have: compile, mailspool, tmpfiles)", name)
+	}
+	return Parse(name, text)
+}
+
+// BuiltinNames lists the bundled traces.
+func BuiltinNames() []string { return []string{"compile", "mailspool", "tmpfiles"} }
+
+var builtins = map[string]string{
+	// compile mimics an edit-compile cycle over a small project: read
+	// sources and headers, write objects, relink.
+	"compile": `# edit-compile-link cycle
+mkdir /proj
+mkdir /proj/src
+mkdir /proj/obj
+repeat 40
+  create /proj/src/f%i.c 9K
+end
+create /proj/src/common.h 22K
+repeat 40
+  read /proj/src/f%i.c
+  read /proj/src/common.h
+  create /proj/obj/f%i.o 12K
+end
+repeat 40
+  read /proj/obj/f%i.o
+end
+create /proj/a.out 600K
+`,
+
+	// mailspool mimics a mail/news spool: many small files created,
+	// scanned, and expired in one flat directory — the metadata-heavy
+	// workload where ext2's async policy dominates (§7.2).
+	"mailspool": `# spool churn: deliveries, a scan, expiries
+mkdir /spool
+repeat 150
+  create /spool/msg%i 3K
+end
+list /spool
+repeat 150
+  stat /spool/msg%i
+end
+repeat 150
+  read /spool/msg%i
+end
+repeat 75
+  unlink /spool/msg%i
+end
+`,
+
+	// tmpfiles is crtdel writ large: compiler temporary files.
+	"tmpfiles": `# temporary-file churn
+mkdir /tmp2
+repeat 60
+  create /tmp2/t%i 16K
+  read /tmp2/t%i
+  unlink /tmp2/t%i
+end
+`,
+}

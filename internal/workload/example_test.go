@@ -1,0 +1,40 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/fs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Example writes a tiny trace and times it on two systems, showing the
+// replayer's purpose: answering "what would my workload cost on each?"
+func Example() {
+	trace, err := workload.Parse("churn", `
+mkdir /work
+repeat 20
+  create /work/f%i 8K
+end
+repeat 20
+  read /work/f%i
+  unlink /work/f%i
+end
+`)
+	if err != nil {
+		panic(err)
+	}
+
+	for _, p := range []*osprofile.Profile{osprofile.Linux128(), osprofile.Solaris24()} {
+		clock := &sim.Clock{}
+		v := fs.New(clock, disk.New(disk.HP3725(), sim.NewRNG(1)), p).AsVFS()
+		st := workload.Replay(v, trace)
+		fmt.Printf("%s: %d ops, %d errors, %.0f ms\n",
+			p, st.Ops, st.Errors, clock.Now().Sub(0).Milliseconds())
+	}
+	// Output:
+	// Linux 1.2.8: 61 ops, 0 errors, 65 ms
+	// Solaris 2.4: 61 ops, 0 errors, 783 ms
+}

@@ -1,0 +1,43 @@
+package workload
+
+import "testing"
+
+// FuzzParse exercises the trace parser with arbitrary input: it must
+// either return an error or a trace that replays without panicking on a
+// null VFS-free walk (we only validate structural invariants here).
+func FuzzParse(f *testing.F) {
+	f.Add("mkdir /d\ncreate /d/f 4K\n")
+	f.Add("repeat 3\n  create /x%i 1K\nend\n")
+	f.Add("rename /a /b\nsync\n# comment\n")
+	f.Add("repeat 2\nrepeat 2\nstat /s\nend\nend\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Structural invariants: repeats balanced, counts positive,
+		// matchEnd total.
+		depth := 0
+		for _, op := range tr.Ops {
+			switch op.Kind {
+			case opRepeat:
+				if op.Count <= 0 {
+					t.Fatalf("repeat with count %d accepted", op.Count)
+				}
+				depth++
+			case opEnd:
+				depth--
+				if depth < 0 {
+					t.Fatal("unbalanced end accepted")
+				}
+			case OpCreate, OpAppend:
+				if op.Bytes < 0 {
+					t.Fatal("negative size accepted")
+				}
+			}
+		}
+		if depth != 0 {
+			t.Fatal("unbalanced repeat accepted")
+		}
+	})
+}

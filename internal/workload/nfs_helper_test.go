@@ -1,0 +1,23 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/netstack"
+	"repro/internal/nfs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// replayOverNFS runs a trace through an NFS mount of a Linux server from
+// a Solaris client.
+func replayOverNFS(t *testing.T, clock *sim.Clock, tr *Trace) Stats {
+	t.Helper()
+	server := nfs.NewServer(osprofile.Linux128(), disk.QuantumEmpire2100(), 1)
+	m, err := nfs.NewMount(clock, osprofile.Solaris24(), server, netstack.Ethernet10(), nfs.MountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Replay(m, tr)
+}

@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/validate"
+)
+
+// TestExperimentsGolden guards the committed EXPERIMENTS.md against
+// calibration drift: any change to a model or constant that shifts a
+// reported number must be accompanied by regenerating the file
+// (`go run ./cmd/pentiumbench experiments > EXPERIMENTS.md`), which makes
+// every such change visible in review.
+func TestExperimentsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration runs every exhibit")
+	}
+	want, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	var b strings.Builder
+	var results []*core.Result
+	for _, e := range core.All() {
+		results = append(results, e.Run(cfg))
+	}
+	report.Markdown(&b, results)
+	var lines []report.ClaimLine
+	for _, o := range validate.RunAll(cfg) {
+		l := report.ClaimLine{ID: o.Claim.ID, Exhibit: o.Claim.Exhibit,
+			Statement: o.Claim.Statement, Passed: o.Passed()}
+		if o.Err != nil {
+			l.Err = o.Err.Error()
+		}
+		lines = append(lines, l)
+	}
+	report.MarkdownClaims(&b, lines)
+	got := b.String()
+	if got != string(want) {
+		// Find the first differing line for a useful message.
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("EXPERIMENTS.md is stale at line %d:\n  committed: %s\n  computed:  %s\n"+
+					"regenerate with: go run ./cmd/pentiumbench experiments > EXPERIMENTS.md",
+					i+1, wl[i], gl[i])
+			}
+		}
+		t.Fatalf("EXPERIMENTS.md length differs: committed %d lines, computed %d; regenerate it",
+			len(wl), len(gl))
+	}
+}
