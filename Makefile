@@ -1,0 +1,38 @@
+# Tier-1 verification plus the runner's race certification, one command:
+#
+#   make check
+#
+# Individual targets mirror the steps CI (and reviewers) care about.
+
+GO ?= go
+
+.PHONY: all build test short race vet bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick inner-loop pass: skips the full-suite golden and determinism tests.
+short:
+	$(GO) test -short ./...
+
+# Certifies the parallel runner race-free: the determinism regression test
+# in internal/core runs the whole suite on an 8-worker pool under the race
+# detector.
+race:
+	$(GO) test -race ./internal/core/...
+
+vet:
+	$(GO) vet ./...
+
+# Whole-suite wall-clock: serial (seed harness schedule) vs the parallel
+# memoized runner. One iteration each; see EXPERIMENTS.md "Harness
+# performance" for recorded results.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSuite' -benchtime 1x .
+
+check: build vet test race

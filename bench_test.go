@@ -109,6 +109,38 @@ func BenchmarkAblationMemoryPressure(b *testing.B)   { runExhibit(b, "A7") }
 func BenchmarkSupplementMABPhases(b *testing.B)     { runExhibit(b, "X1") }
 func BenchmarkSupplementCrtdelDiskOps(b *testing.B) { runExhibit(b, "X2") }
 
+// Whole-suite benchmarks: the wall-clock cost of regenerating every
+// exhibit. Serial is the seed harness's schedule (direct Run calls, no
+// memo); Parallel is the core.Runner at the GOMAXPROCS default, which
+// also memoizes shared cache-hierarchy sweeps. The "Harness performance"
+// appendix of EXPERIMENTS.md records measured ratios.
+
+func BenchmarkSuiteSerial(b *testing.B) {
+	cfg := core.DefaultConfig()
+	exps := core.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range exps {
+			if res := e.Run(cfg); res == nil {
+				b.Fatalf("%s returned nil", e.ID)
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteParallel(b *testing.B) {
+	cfg := core.DefaultConfig()
+	exps := core.All()
+	runner := core.NewRunner(0) // GOMAXPROCS workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, _ := runner.RunAll(cfg, exps)
+		if len(results) != len(exps) {
+			b.Fatalf("got %d results, want %d", len(results), len(exps))
+		}
+	}
+}
+
 // TestEveryExhibitHasABenchmark cross-checks DESIGN.md's promise that each
 // registered experiment has a root bench target.
 func TestEveryExhibitHasABenchmark(t *testing.T) {

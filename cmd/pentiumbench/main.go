@@ -25,6 +25,11 @@
 //	-out DIR     svg output directory
 //	-eps F       sensitivity perturbation (default 0.15)
 //	-trials N    sensitivity replicas (default 5)
+//	-j N         worker pool size for run/csv/svg/experiments/html
+//	             (default GOMAXPROCS; -j 1 is strictly serial; output is
+//	             bit-identical at every N)
+//	-stats       print runner statistics (jobs, memo hits, wall time,
+//	             slowest experiments) to stderr after running
 //
 // All logic lives in internal/cli; this is a shim.
 package main

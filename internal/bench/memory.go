@@ -46,12 +46,7 @@ func insertionSort(a []int) {
 // hierarchy and returns the bandwidth curve. The cfg parameter lets the
 // A1 (write-allocate) ablation substitute a hypothetical cache.
 func MemFigure(plat Platform, cfg cache.Config, r memmodel.Routine, sizes []int) []MemPoint {
-	out := make([]MemPoint, 0, len(sizes))
-	for _, s := range sizes {
-		m := memmodel.NewModel(plat.CPU, cfg)
-		out = append(out, MemPoint{Size: s, MBs: m.Bandwidth(r, s)})
-	}
-	return out
+	return MemFigureDistance(plat, cfg, r, sizes, memmodel.DefaultPrefetchDistance)
 }
 
 // MemFigureDistance is MemFigure with an explicit prefetch distance, for
@@ -59,9 +54,7 @@ func MemFigure(plat Platform, cfg cache.Config, r memmodel.Routine, sizes []int)
 func MemFigureDistance(plat Platform, cfg cache.Config, r memmodel.Routine, sizes []int, dist int) []MemPoint {
 	out := make([]MemPoint, 0, len(sizes))
 	for _, s := range sizes {
-		m := memmodel.NewModel(plat.CPU, cfg)
-		m.PrefetchDistance = dist
-		out = append(out, MemPoint{Size: s, MBs: m.Bandwidth(r, s)})
+		out = append(out, MemPoint{Size: s, MBs: memmodel.SweepPoint(plat.CPU, cfg, r, dist, s)})
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -60,9 +61,25 @@ func (a *App) Execute(args []string) int {
 	eps := fl.Float64("eps", 0.15, "sensitivity: relative perturbation of calibrated constants")
 	trials := fl.Int("trials", 5, "sensitivity: perturbed replicas")
 	profilesFile := fl.String("profiles", "", "JSON file with extra OS personalities to benchmark")
+	workers := fl.Int("j", 0, "parallel runner workers (0 = GOMAXPROCS, 1 = serial)")
+	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
 	fl.Usage = func() { a.usage(fl) }
-	if err := fl.Parse(args); err != nil {
-		return 2
+
+	// The flag package stops at the first positional argument; re-parsing
+	// the remainder after collecting each positional lets flags appear on
+	// either side of the command ("run all -j 8 -stats" and
+	// "-j 8 run all" both work).
+	var rest []string
+	for remaining := args; ; {
+		if err := fl.Parse(remaining); err != nil {
+			return 2
+		}
+		remaining = fl.Args()
+		if len(remaining) == 0 {
+			break
+		}
+		rest = append(rest, remaining[0])
+		remaining = remaining[1:]
 	}
 
 	cfg := core.DefaultConfig()
@@ -86,26 +103,26 @@ func (a *App) Execute(args []string) int {
 		cfg.Profiles = append(cfg.Profiles, extra...)
 	}
 
-	rest := fl.Args()
 	if len(rest) == 0 {
 		a.usage(fl)
 		return 2
 	}
+	runner := core.NewRunner(*workers)
 	switch rest[0] {
 	case "list":
 		a.list()
 		return 0
 	case "run":
-		return a.run(cfg, rest[1:], false)
+		return a.run(cfg, runner, *showStats, rest[1:], false)
 	case "csv":
-		return a.run(cfg, rest[1:], true)
+		return a.run(cfg, runner, *showStats, rest[1:], true)
 	case "svg":
-		return a.svg(cfg, rest[1:], *outDir)
+		return a.svg(cfg, runner, *showStats, rest[1:], *outDir)
 	case "experiments":
-		a.experiments(cfg)
+		a.experiments(cfg, runner, *showStats)
 		return 0
 	case "html":
-		a.html(cfg)
+		a.html(cfg, runner, *showStats)
 		return 0
 	case "check":
 		return a.check(cfg)
@@ -136,7 +153,11 @@ func (a *App) Execute(args []string) int {
 }
 
 func (a *App) usage(fl *flag.FlagSet) {
-	fmt.Fprintln(a.Stderr, `usage: pentiumbench [flags] <command>
+	fmt.Fprintln(a.Stderr, `usage: pentiumbench [flags] <command> [args] [flags]
+
+run, csv, svg, experiments and html execute on a parallel deterministic
+runner: -j picks the worker count (results are bit-identical at any -j),
+-stats reports jobs, memo hits and wall time on stderr.
 
 commands:
   list            show all experiments (tables, figures, ablations)
@@ -187,7 +208,7 @@ func (a *App) resolve(ids []string) ([]*core.Experiment, bool) {
 	return exps, true
 }
 
-func (a *App) run(cfg core.Config, ids []string, csv bool) int {
+func (a *App) run(cfg core.Config, runner *core.Runner, showStats bool, ids []string, csv bool) int {
 	if len(ids) == 0 {
 		fmt.Fprintln(a.Stderr, "pentiumbench: run/csv needs experiment ids or 'all'")
 		return 2
@@ -196,8 +217,8 @@ func (a *App) run(cfg core.Config, ids []string, csv bool) int {
 	if !ok {
 		return 2
 	}
-	for i, e := range exps {
-		res := e.Run(cfg)
+	results, st := runner.RunAll(cfg, exps)
+	for i, res := range results {
 		if csv {
 			report.CSV(a.Stdout, res)
 			continue
@@ -207,10 +228,32 @@ func (a *App) run(cfg core.Config, ids []string, csv bool) int {
 		}
 		report.Render(a.Stdout, res)
 	}
+	a.maybeStats(showStats, st)
 	return 0
 }
 
-func (a *App) svg(cfg core.Config, ids []string, dir string) int {
+// maybeStats prints runner statistics to stderr, keeping stdout a pure
+// report: run output stays byte-identical with or without -stats.
+func (a *App) maybeStats(show bool, st *core.RunStats) {
+	if !show {
+		return
+	}
+	fmt.Fprintf(a.Stderr, "runner: %d experiments + %d fan-out tasks on %d workers in %v\n",
+		st.Jobs, st.InnerJobs, st.Workers, st.Wall.Round(time.Millisecond))
+	fmt.Fprintf(a.Stderr, "sweep memo: %d hits, %d simulated points\n",
+		st.MemoHits, st.MemoMisses)
+	slowest := st.Slowest(5)
+	if len(slowest) == 0 {
+		return
+	}
+	fmt.Fprint(a.Stderr, "slowest:")
+	for _, e := range slowest {
+		fmt.Fprintf(a.Stderr, " %s %v", e.ID, e.Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintln(a.Stderr)
+}
+
+func (a *App) svg(cfg core.Config, runner *core.Runner, showStats bool, ids []string, dir string) int {
 	if len(ids) == 0 {
 		fmt.Fprintln(a.Stderr, "pentiumbench: svg needs experiment ids or 'all'")
 		return 2
@@ -223,28 +266,27 @@ func (a *App) svg(cfg core.Config, ids []string, dir string) int {
 		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
 		return 1
 	}
-	for _, e := range exps {
-		res := e.Run(cfg)
+	results, st := runner.RunAll(cfg, exps)
+	for i, e := range exps {
 		path := fmt.Sprintf("%s/%s.svg", dir, e.ID)
 		f, err := a.CreateFile(path)
 		if err != nil {
 			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
 			return 1
 		}
-		report.SVG(f, res)
+		report.SVG(f, results[i])
 		f.Close()
 		fmt.Fprintln(a.Stdout, "wrote", path)
 	}
+	a.maybeStats(showStats, st)
 	return 0
 }
 
-func (a *App) experiments(cfg core.Config) {
-	var results []*core.Result
-	for _, e := range core.All() {
-		results = append(results, e.Run(cfg))
-	}
+func (a *App) experiments(cfg core.Config, runner *core.Runner, showStats bool) {
+	results, st := runner.RunAll(cfg, core.All())
 	report.Markdown(a.Stdout, results)
 	report.MarkdownClaims(a.Stdout, claimLines(cfg))
+	a.maybeStats(showStats, st)
 }
 
 // claimLines evaluates the paper claims for the experiments report.
@@ -265,12 +307,10 @@ func claimLines(cfg core.Config) []report.ClaimLine {
 	return lines
 }
 
-func (a *App) html(cfg core.Config) {
-	var results []*core.Result
-	for _, e := range core.All() {
-		results = append(results, e.Run(cfg))
-	}
+func (a *App) html(cfg core.Config, runner *core.Runner, showStats bool) {
+	results, st := runner.RunAll(cfg, core.All())
 	report.HTML(a.Stdout, results)
+	a.maybeStats(showStats, st)
 }
 
 func (a *App) check(cfg core.Config) int {

@@ -339,6 +339,66 @@ func TestExperimentsCommand(t *testing.T) {
 	}
 }
 
+func TestFlagsAfterCommand(t *testing.T) {
+	// The flag package stops at the first positional; Execute re-parses so
+	// `run T2 -j 2 -runs 3` works the same as `-j 2 -runs 3 run T2`.
+	a, out, errb, _ := testApp()
+	if code := a.Execute([]string{"run", "T2", "-j", "2", "-runs", "3"}); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "System Call") {
+		t.Fatalf("interleaved flags dropped the run:\n%s", out.String())
+	}
+
+	b, bOut, bErr, _ := testApp()
+	if code := b.Execute([]string{"-j", "2", "-runs", "3", "run", "T2"}); code != 0 {
+		t.Fatalf("exit = %d: %s", code, bErr.String())
+	}
+	if out.String() != bOut.String() {
+		t.Fatal("flag position changed the output")
+	}
+}
+
+func TestRunParallelStdoutIdentical(t *testing.T) {
+	// The tentpole guarantee at the CLI layer: -j N never changes a byte
+	// of stdout.
+	serial, sOut, _, _ := testApp()
+	if code := serial.Execute([]string{"-runs", "3", "-j", "1", "run", "T2", "F3", "A1"}); code != 0 {
+		t.Fatalf("serial exit = %d", code)
+	}
+	par, pOut, _, _ := testApp()
+	if code := par.Execute([]string{"-runs", "3", "-j", "8", "run", "T2", "F3", "A1"}); code != 0 {
+		t.Fatalf("parallel exit = %d", code)
+	}
+	if sOut.String() != pOut.String() {
+		t.Fatal("-j 8 stdout differs from -j 1")
+	}
+}
+
+func TestStatsGoToStderrOnly(t *testing.T) {
+	a, out, errb, _ := testApp()
+	if code := a.Execute([]string{"-runs", "3", "-j", "2", "-stats", "run", "T2"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"runner:", "sweep memo:", "slowest:"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
+		if strings.Contains(out.String(), want) {
+			t.Errorf("stats leaked into stdout (%q)", want)
+		}
+	}
+
+	// Without -stats, stderr stays silent.
+	b, _, bErr, _ := testApp()
+	if code := b.Execute([]string{"-runs", "3", "run", "T2"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if bErr.Len() != 0 {
+		t.Fatalf("unexpected stderr without -stats: %s", bErr.String())
+	}
+}
+
 func TestSensitivityCommand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sensitivity runs perturbed replicas")

@@ -33,22 +33,29 @@ func init() {
 				},
 			}
 			p := osprofile.FreeBSD205()
-			for _, hogMB := range []int{0, 6, 12} {
+			hogs := []int{0, 6, 12}
+			sizes := bench.BonnieSweepSizes()
+			res.Series = make([]Series, len(hogs))
+			parallelFor(cfg, len(hogs), func(hi int) {
+				hogMB := hogs[hi]
 				pool := vm.PaperMachine(3)
 				if hogMB > 0 {
 					pool.Claim("memory hog", int64(hogMB)<<20)
 				}
 				budget := pool.CacheBudget()
 				label := fmt.Sprintf("%s, %d MB hog (cache %d MB)", p.Name, hogMB, budget>>20)
-				s := Series{Label: label}
-				for i, mb := range bench.BonnieSweepSizes() {
-					r := bench.BonnieWithCache(plat, p, mb, cfg.Seed+uint64(i), budget)
-					s.X = append(s.X, float64(mb))
-					s.Samples = append(s.Samples,
-						noiseSample(cfg, saltFor("A7", label, i), noiseFor(p, noiseFS), r.ReadMBs))
+				s := Series{
+					Label:   label,
+					X:       make([]float64, len(sizes)),
+					Samples: make([]*stats.Sample, len(sizes)),
 				}
-				res.Series = append(res.Series, s)
-			}
+				parallelFor(cfg, len(sizes), func(i int) {
+					r := bench.BonnieWithCache(plat, p, sizes[i], cfg.Seed+uint64(i), budget)
+					s.X[i] = float64(sizes[i])
+					s.Samples[i] = noiseSample(cfg, saltFor("A7", label, i), noiseFor(p, noiseFS), r.ReadMBs)
+				})
+				res.Series[hi] = s
+			})
 			return res
 		},
 	})

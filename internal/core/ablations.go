@@ -31,7 +31,7 @@ func init() {
 				},
 			}
 			sizes := bench.MemSweepSizes()
-			for _, variant := range []struct {
+			variants := []struct {
 				label    string
 				allocate bool
 				routine  memmodel.Routine
@@ -40,18 +40,24 @@ func init() {
 				{"memset, write-allocate (hypothetical)", true, memmodel.Memset},
 				{"memcpy, no write-allocate (real P54C)", false, memmodel.LibcMemcpy},
 				{"memcpy, write-allocate (hypothetical)", true, memmodel.LibcMemcpy},
-			} {
+			}
+			res.Series = make([]Series, len(variants))
+			parallelFor(cfg, len(variants), func(vi int) {
+				variant := variants[vi]
 				cacheCfg := cache.PentiumConfig()
 				cacheCfg.WriteAllocate = variant.allocate
-				points := bench.MemFigure(plat, cacheCfg, variant.routine, sizes)
+				// The no-write-allocate variants are Figures 3 and 6's
+				// exact sweeps; the memo shares their points.
+				points := memSweep(cfg, cacheCfg, variant.routine,
+					memmodel.DefaultPrefetchDistance, sizes)
 				s := Series{Label: variant.label}
 				for i, pt := range points {
 					s.X = append(s.X, float64(pt.Size))
 					s.Samples = append(s.Samples,
 						noiseSample(cfg, saltFor("A1", variant.label, i), 0.01, pt.MBs))
 				}
-				res.Series = append(res.Series, s)
-			}
+				res.Series[vi] = s
+			})
 			return res
 		},
 	})
@@ -71,17 +77,21 @@ func init() {
 				},
 			}
 			sizes := bench.MemSweepSizes()
-			for _, dist := range []int{0, 1, 2, 4, 8} {
+			dists := []int{0, 1, 2, 4, 8}
+			res.Series = make([]Series, len(dists))
+			parallelFor(cfg, len(dists), func(di int) {
+				dist := dists[di]
 				label := fmt.Sprintf("prefetch distance %d", dist)
-				points := bench.MemFigureDistance(plat, cache.PentiumConfig(), memmodel.PrefetchWrite, sizes, dist)
+				// Distance 1 is Figure 5's exact sweep; the memo shares it.
+				points := memSweep(cfg, cache.PentiumConfig(), memmodel.PrefetchWrite, dist, sizes)
 				s := Series{Label: label}
 				for i, pt := range points {
 					s.X = append(s.X, float64(pt.Size))
 					s.Samples = append(s.Samples,
 						noiseSample(cfg, saltFor("A2", label, i), 0.01, pt.MBs))
 				}
-				res.Series = append(res.Series, s)
-			}
+				res.Series[di] = s
+			})
 			return res
 		},
 	})
@@ -131,16 +141,22 @@ func init() {
 				osprofile.Linux128(), linuxSync,
 				osprofile.FreeBSD205(), osprofile.FreeBSD21(),
 			}
-			for _, p := range variants {
-				s := Series{Label: p.String()}
-				for i, size := range bench.CrtdelSweepSizes() {
-					d := bench.Crtdel(plat, p, size, cfg.Seed+uint64(i))
-					s.X = append(s.X, float64(size))
-					s.Samples = append(s.Samples,
-						noiseSample(cfg, saltFor("A4", p.String(), i), noiseFor(p, noiseFS), d.Milliseconds()))
+			sizes := bench.CrtdelSweepSizes()
+			res.Series = make([]Series, len(variants))
+			parallelFor(cfg, len(variants), func(vi int) {
+				p := variants[vi]
+				s := Series{
+					Label:   p.String(),
+					X:       make([]float64, len(sizes)),
+					Samples: make([]*stats.Sample, len(sizes)),
 				}
-				res.Series = append(res.Series, s)
-			}
+				parallelFor(cfg, len(sizes), func(i int) {
+					d := bench.Crtdel(plat, p, sizes[i], cfg.Seed+uint64(i))
+					s.X[i] = float64(sizes[i])
+					s.Samples[i] = noiseSample(cfg, saltFor("A4", p.String(), i), noiseFor(p, noiseFS), d.Milliseconds())
+				})
+				res.Series[vi] = s
+			})
 			return res
 		},
 	})
@@ -195,20 +211,22 @@ func init() {
 					"Swapping only the server's write policy reproduces most of the Table 6 → Table 7 slowdown: the spec's synchronous commit is the dominant cost.",
 				},
 			}
-			for _, p := range cfg.Profiles {
-				for _, kind := range []bench.NFSServerKind{bench.ServerLinux, bench.ServerSunOS} {
-					name := "async server (Linux)"
-					if kind == bench.ServerSunOS {
-						name = "sync server (SunOS)"
-					}
-					mean := bench.MABNFS(p, kind, bench.DefaultMAB(), cfg.Seed).Total.Seconds()
-					label := p.String() + " / " + name
-					res.Series = append(res.Series, Series{
-						Label:   label,
-						Samples: []*stats.Sample{noiseSample(cfg, saltFor("A6", label, 0), noiseFor(p, noiseNFS), mean)},
-					})
+			kinds := []bench.NFSServerKind{bench.ServerLinux, bench.ServerSunOS}
+			res.Series = make([]Series, len(cfg.Profiles)*len(kinds))
+			parallelFor(cfg, len(res.Series), func(i int) {
+				p := cfg.Profiles[i/len(kinds)]
+				kind := kinds[i%len(kinds)]
+				name := "async server (Linux)"
+				if kind == bench.ServerSunOS {
+					name = "sync server (SunOS)"
 				}
-			}
+				mean := bench.MABNFS(p, kind, bench.DefaultMAB(), cfg.Seed).Total.Seconds()
+				label := p.String() + " / " + name
+				res.Series[i] = Series{
+					Label:   label,
+					Samples: []*stats.Sample{noiseSample(cfg, saltFor("A6", label, 0), noiseFor(p, noiseNFS), mean)},
+				}
+			})
 			return res
 		},
 	})

@@ -8,7 +8,10 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
+	"repro/internal/memmodel"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -34,6 +37,16 @@ type Config struct {
 	Runs int
 	// Profiles are the systems under test, in presentation order.
 	Profiles []*osprofile.Profile
+
+	// pool is the worker pool of the Runner executing this configuration.
+	// Experiments fan their per-(series, sweep-point) model runs out on it
+	// via parallelFor; nil (the zero Config, and every direct e.Run call)
+	// means serial execution.
+	pool *workPool
+	// memo caches cache-hierarchy sweep points across the experiments of
+	// one suite run; nil disables memoization. Results are identical
+	// either way — the model is a pure function of the memo key.
+	memo *memmodel.SweepCache
 }
 
 // DefaultConfig returns the paper's protocol: twenty runs of Linux 1.2.8,
@@ -141,13 +154,22 @@ func All() []*Experiment {
 	return out
 }
 
-// rank orders experiment IDs: T2..T7, then F1..F13, then A1..A6.
+// rankUnknown sorts IDs whose shape rank does not understand after every
+// well-formed ID, keeping their relative registration order stable.
+const rankUnknown = 1 << 20
+
+// rank orders experiment IDs: T2..T7, then F1..F13, then A1..A7, then the
+// supplementary X exhibits. A malformed ID — empty, a bare letter, or a
+// non-numeric suffix like "T2b" — ranks after everything rather than
+// silently parsing as 0 and jumping the queue.
 func rank(id string) int {
-	if id == "" {
-		return 1 << 20
+	if len(id) < 2 {
+		return rankUnknown
 	}
-	n := 0
-	fmt.Sscanf(id[1:], "%d", &n)
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return rankUnknown
+	}
 	switch id[0] {
 	case 'T':
 		return n
@@ -155,18 +177,34 @@ func rank(id string) int {
 		return 100 + n
 	case 'A':
 		return 200 + n
+	case 'X':
+		return 300 + n
 	}
-	return 300 + n
+	return rankUnknown
 }
 
-// Lookup finds an experiment by ID (case-sensitive, e.g. "T2").
+// lookupIndex is the lazily built ID → experiment map behind Lookup.
+// Registration only happens in package init functions, so the index can
+// be built once, on the first Lookup.
+var (
+	lookupOnce  sync.Once
+	lookupIndex map[string]*Experiment
+)
+
+// Lookup finds an experiment by ID (case-sensitive, e.g. "T2") in O(1).
 func Lookup(id string) (*Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
+	lookupOnce.Do(func() {
+		lookupIndex = make(map[string]*Experiment, len(registry))
+		for _, e := range registry {
+			// First registration wins, matching the linear scan this
+			// index replaced; ValidateRegistry reports duplicates.
+			if _, dup := lookupIndex[e.ID]; !dup {
+				lookupIndex[e.ID] = e
+			}
 		}
-	}
-	return nil, false
+	})
+	e, ok := lookupIndex[id]
+	return e, ok
 }
 
 // IDs returns all experiment IDs in order.

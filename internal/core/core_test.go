@@ -55,6 +55,49 @@ func TestLookupUnknown(t *testing.T) {
 	}
 }
 
+func TestLookupIndexMatchesRegistry(t *testing.T) {
+	// The lazily built map must agree with a linear scan for every
+	// registered ID and reject near-misses.
+	for _, e := range registry {
+		got, ok := Lookup(e.ID)
+		if !ok || got != e {
+			t.Errorf("Lookup(%q) = %v, %v; want the registered experiment", e.ID, got, ok)
+		}
+	}
+	for _, id := range []string{"", "t2", "T", "T2 ", " F1", "F01x"} {
+		if _, ok := Lookup(id); ok {
+			t.Errorf("Lookup(%q) should fail", id)
+		}
+	}
+}
+
+func TestRankOrdersWellFormedIDs(t *testing.T) {
+	ordered := []string{"T2", "T7", "F1", "F13", "A1", "A7", "X1", "X2"}
+	for i := 1; i < len(ordered); i++ {
+		if rank(ordered[i-1]) >= rank(ordered[i]) {
+			t.Errorf("rank(%s)=%d not before rank(%s)=%d",
+				ordered[i-1], rank(ordered[i-1]), ordered[i], rank(ordered[i]))
+		}
+	}
+	// F10 must sort after F9 (numeric, not lexicographic).
+	if rank("F9") >= rank("F10") {
+		t.Error("F10 should rank after F9")
+	}
+}
+
+func TestRankRejectsMalformedIDs(t *testing.T) {
+	// Malformed IDs used to Sscanf to 0 and silently jump ahead of every
+	// real exhibit; now they all rank last.
+	for _, id := range []string{"", "T", "Tx", "T2b", "F-1", "Z3", "Q", "T 2"} {
+		if got := rank(id); got != rankUnknown {
+			t.Errorf("rank(%q) = %d, want rankUnknown (%d)", id, got, rankUnknown)
+		}
+	}
+	if rank("T7") >= rankUnknown || rank("X2") >= rankUnknown {
+		t.Error("well-formed IDs must rank before malformed ones")
+	}
+}
+
 func TestTable2Result(t *testing.T) {
 	e, _ := Lookup("T2")
 	res := e.Run(smallConfig())

@@ -33,7 +33,9 @@ func init() {
 					"Compile time dominates every system, which is why MAB totals sit so much closer than the microbenchmarks.",
 				},
 			}
-			for _, p := range cfg.Profiles {
+			res.Series = make([]Series, len(cfg.Profiles))
+			parallelFor(cfg, len(cfg.Profiles), func(pi int) {
+				p := cfg.Profiles[pi]
 				r := bench.MAB(plat, p, bench.DefaultMAB(), cfg.Seed)
 				s := Series{Label: p.String()}
 				for i, d := range r.Phase {
@@ -41,8 +43,8 @@ func init() {
 					s.Samples = append(s.Samples,
 						noiseSample(cfg, saltFor("X1", p.String(), i), noiseFor(p, noiseMAB), d.Seconds()))
 				}
-				res.Series = append(res.Series, s)
-			}
+				res.Series[pi] = s
+			})
 			return res
 		},
 	})
@@ -61,13 +63,15 @@ func init() {
 					"The FFS systems pay one synchronous metadata write per count shown; FreeBSD issues the most.",
 				},
 			}
-			for _, p := range cfg.Profiles {
+			res.Series = make([]Series, len(cfg.Profiles))
+			parallelFor(cfg, len(cfg.Profiles), func(i int) {
+				p := cfg.Profiles[i]
 				ops := crtdelDiskOps(plat, p, cfg.Seed)
-				res.Series = append(res.Series, Series{
+				res.Series[i] = Series{
 					Label:   p.String(),
 					Samples: []*stats.Sample{exactSample(cfg, ops)},
-				})
-			}
+				}
+			})
 			return res
 		},
 	})

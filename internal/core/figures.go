@@ -36,15 +36,25 @@ func init() {
 					"The Solaris-LIFO chain still jumps at 32 but grows gradually past 64.",
 				},
 			}
+			type ctxSlot struct {
+				p     *osprofile.Profile
+				order bench.CtxOrder
+				label string
+			}
+			var slots []ctxSlot
 			for _, p := range cfg.Profiles {
-				res.Series = append(res.Series, ctxSeries(cfg, p, bench.CtxRing, p.String()))
+				slots = append(slots, ctxSlot{p, bench.CtxRing, p.String()})
 			}
 			// The paper adds the LIFO variant for Solaris only.
 			for _, p := range cfg.Profiles {
 				if p.Kernel.Scheduler == osprofile.SchedPreemptiveMT {
-					res.Series = append(res.Series, ctxSeries(cfg, p, bench.CtxLIFO, p.Name+"-LIFO"))
+					slots = append(slots, ctxSlot{p, bench.CtxLIFO, p.Name + "-LIFO"})
 				}
 			}
+			res.Series = make([]Series, len(slots))
+			parallelFor(cfg, len(slots), func(i int) {
+				res.Series[i] = ctxSeries(cfg, slots[i].p, slots[i].order, slots[i].label)
+			})
 			return res
 		},
 	})
@@ -99,7 +109,8 @@ func init() {
 					Notes:     mf.notes,
 				}
 				sizes := bench.MemSweepSizes()
-				points := bench.MemFigure(plat, cache.PentiumConfig(), mf.routine, sizes)
+				points := memSweep(cfg, cache.PentiumConfig(), mf.routine,
+					memmodel.DefaultPrefetchDistance, sizes)
 				s := Series{Label: "Pentium P54C-100"}
 				// Memory noise is hardware-level; use the first profile's.
 				rel := 0.01
@@ -156,16 +167,22 @@ func init() {
 					YUnit: bf.unit, XLabel: "file MB", LogX: true,
 					Direction: bf.dir, Notes: bf.notes,
 				}
-				for _, p := range cfg.Profiles {
-					s := Series{Label: p.String()}
-					for i, mb := range bench.BonnieSweepSizes() {
-						r := bench.Bonnie(plat, p, mb, cfg.Seed+uint64(i))
-						s.X = append(s.X, float64(mb))
-						s.Samples = append(s.Samples,
-							noiseSample(cfg, saltFor(bf.id, p.String(), i), noiseFor(p, noiseFS), bf.pick(r)))
+				sizes := bench.BonnieSweepSizes()
+				res.Series = make([]Series, len(cfg.Profiles))
+				parallelFor(cfg, len(cfg.Profiles), func(pi int) {
+					p := cfg.Profiles[pi]
+					s := Series{
+						Label:   p.String(),
+						X:       make([]float64, len(sizes)),
+						Samples: make([]*stats.Sample, len(sizes)),
 					}
-					res.Series = append(res.Series, s)
-				}
+					parallelFor(cfg, len(sizes), func(i int) {
+						r := bench.Bonnie(plat, p, sizes[i], cfg.Seed+uint64(i))
+						s.X[i] = float64(sizes[i])
+						s.Samples[i] = noiseSample(cfg, saltFor(bf.id, p.String(), i), noiseFor(p, noiseFS), bf.pick(r))
+					})
+					res.Series[pi] = s
+				})
 				return res
 			},
 		})
@@ -190,16 +207,22 @@ func init() {
 					"FreeBSD trails Solaris by a near-constant ~32 ms: more (or farther) synchronous metadata writes.",
 				},
 			}
-			for _, p := range cfg.Profiles {
-				s := Series{Label: p.String()}
-				for i, size := range bench.CrtdelSweepSizes() {
-					d := bench.Crtdel(plat, p, size, cfg.Seed+uint64(i))
-					s.X = append(s.X, float64(size))
-					s.Samples = append(s.Samples,
-						noiseSample(cfg, saltFor("F12", p.String(), i), noiseFor(p, noiseFS), d.Milliseconds()))
+			sizes := bench.CrtdelSweepSizes()
+			res.Series = make([]Series, len(cfg.Profiles))
+			parallelFor(cfg, len(cfg.Profiles), func(pi int) {
+				p := cfg.Profiles[pi]
+				s := Series{
+					Label:   p.String(),
+					X:       make([]float64, len(sizes)),
+					Samples: make([]*stats.Sample, len(sizes)),
 				}
-				res.Series = append(res.Series, s)
-			}
+				parallelFor(cfg, len(sizes), func(i int) {
+					d := bench.Crtdel(plat, p, sizes[i], cfg.Seed+uint64(i))
+					s.X[i] = float64(sizes[i])
+					s.Samples[i] = noiseSample(cfg, saltFor("F12", p.String(), i), noiseFor(p, noiseFS), d.Milliseconds())
+				})
+				res.Series[pi] = s
+			})
 			return res
 		},
 	})
@@ -224,30 +247,42 @@ func init() {
 					"Linux, despite the best pipes, is worst at UDP: extra copies and inefficient buffer allocation (14% of its pipe bandwidth).",
 				},
 			}
-			for _, p := range cfg.Profiles {
-				s := Series{Label: p.String()}
-				for i, size := range bench.TTCPSweepSizes() {
-					bw := bench.TTCP(p, size)
-					s.X = append(s.X, float64(size))
-					s.Samples = append(s.Samples,
-						noiseSample(cfg, saltFor("F13", p.String(), i), noiseFor(p, noiseUDP), bw))
+			sizes := bench.TTCPSweepSizes()
+			res.Series = make([]Series, len(cfg.Profiles))
+			parallelFor(cfg, len(cfg.Profiles), func(pi int) {
+				p := cfg.Profiles[pi]
+				s := Series{
+					Label:   p.String(),
+					X:       make([]float64, len(sizes)),
+					Samples: make([]*stats.Sample, len(sizes)),
 				}
-				res.Series = append(res.Series, s)
-			}
+				for i, size := range sizes {
+					bw := bench.TTCP(p, size)
+					s.X[i] = float64(size)
+					s.Samples[i] = noiseSample(cfg, saltFor("F13", p.String(), i), noiseFor(p, noiseUDP), bw)
+				}
+				res.Series[pi] = s
+			})
 			return res
 		},
 	})
 }
 
-// ctxSeries runs the Figure 1 sweep for one OS and pattern.
+// ctxSeries runs the Figure 1 sweep for one OS and pattern, fanning the
+// process-count points out on the worker pool. (The "F1" salt is shared
+// with ablation A3, which reuses these curves; keep it.)
 func ctxSeries(cfg Config, p *osprofile.Profile, order bench.CtxOrder, label string) Series {
 	plat := bench.PaperPlatform()
-	s := Series{Label: label}
-	for i, n := range ctxProcCounts {
-		d := bench.Ctx(plat, p, n, order)
-		s.X = append(s.X, float64(n))
-		s.Samples = append(s.Samples,
-			noiseSample(cfg, saltFor("F1", label, i), noiseFor(p, noiseCtx), d.Microseconds()))
+	s := Series{
+		Label:   label,
+		X:       make([]float64, len(ctxProcCounts)),
+		Samples: make([]*stats.Sample, len(ctxProcCounts)),
 	}
+	parallelFor(cfg, len(ctxProcCounts), func(i int) {
+		n := ctxProcCounts[i]
+		d := bench.Ctx(plat, p, n, order)
+		s.X[i] = float64(n)
+		s.Samples[i] = noiseSample(cfg, saltFor("F1", label, i), noiseFor(p, noiseCtx), d.Microseconds())
+	})
 	return s
 }

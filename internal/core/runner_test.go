@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/memmodel"
+)
+
+// assertResultsIdentical compares two result sets bit for bit: every
+// series label, every X value, every run value, every mean and std dev.
+func assertResultsIdentical(t *testing.T, want, got []*Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("result count: %d vs %d", len(want), len(got))
+	}
+	for ri := range want {
+		w, g := want[ri], got[ri]
+		if w.ID != g.ID || len(w.Series) != len(g.Series) {
+			t.Fatalf("%s: shape mismatch (%s, %d vs %d series)", w.ID, g.ID, len(w.Series), len(g.Series))
+		}
+		for si := range w.Series {
+			ws, gs := &w.Series[si], &g.Series[si]
+			if ws.Label != gs.Label {
+				t.Fatalf("%s series %d: label %q vs %q", w.ID, si, ws.Label, gs.Label)
+			}
+			if len(ws.X) != len(gs.X) || len(ws.Samples) != len(gs.Samples) {
+				t.Fatalf("%s/%s: point count mismatch", w.ID, ws.Label)
+			}
+			for i := range ws.X {
+				if ws.X[i] != gs.X[i] {
+					t.Fatalf("%s/%s X[%d]: %v vs %v", w.ID, ws.Label, i, ws.X[i], gs.X[i])
+				}
+			}
+			for i := range ws.Samples {
+				wv, gv := ws.Samples[i].Values(), gs.Samples[i].Values()
+				if len(wv) != len(gv) {
+					t.Fatalf("%s/%s point %d: %d vs %d runs", w.ID, ws.Label, i, len(wv), len(gv))
+				}
+				for r := range wv {
+					if wv[r] != gv[r] {
+						t.Fatalf("%s/%s point %d run %d: %v vs %v",
+							w.ID, ws.Label, i, r, wv[r], gv[r])
+					}
+				}
+				if ws.Samples[i].Mean() != gs.Samples[i].Mean() {
+					t.Fatalf("%s/%s point %d: mean %v vs %v",
+						w.ID, ws.Label, i, ws.Samples[i].Mean(), gs.Samples[i].Mean())
+				}
+				if ws.Samples[i].StdDev() != gs.Samples[i].StdDev() {
+					t.Fatalf("%s/%s point %d: std dev %v vs %v",
+						w.ID, ws.Label, i, ws.Samples[i].StdDev(), gs.Samples[i].StdDev())
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerParallelBitIdentical is the determinism regression test: the
+// full registry, run serially (direct e.Run, no pool, no memo) and on an
+// 8-worker pool, must agree on every value of every sample. Running this
+// under `go test -race` additionally certifies the runner race-free.
+func TestRunnerParallelBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice")
+	}
+	cfg := smallConfig()
+	exps := All()
+	serial := make([]*Result, len(exps))
+	for i, e := range exps {
+		serial[i] = e.Run(cfg)
+	}
+	parallel, st := NewRunner(8).RunAll(cfg, exps)
+	assertResultsIdentical(t, serial, parallel)
+	if st.Jobs != len(exps) {
+		t.Errorf("stats jobs = %d, want %d", st.Jobs, len(exps))
+	}
+	if st.Workers != 8 {
+		t.Errorf("stats workers = %d, want 8", st.Workers)
+	}
+	if st.InnerJobs == 0 {
+		t.Error("no fan-out tasks recorded; experiments did not use the pool")
+	}
+	if st.MemoHits == 0 {
+		t.Error("memo recorded no hits; shared sweeps are being re-simulated")
+	}
+}
+
+// TestRunnerSerialMatchesDirect pins the -j 1 path (pool-free, but
+// memoized) to the direct e.Run path.
+func TestRunnerSerialMatchesDirect(t *testing.T) {
+	cfg := smallConfig()
+	exps := []*Experiment{mustLookup(t, "T2"), mustLookup(t, "F3"), mustLookup(t, "A1")}
+	direct := make([]*Result, len(exps))
+	for i, e := range exps {
+		direct[i] = e.Run(cfg)
+	}
+	viaRunner, st := NewRunner(1).RunAll(cfg, exps)
+	assertResultsIdentical(t, direct, viaRunner)
+	if st.InnerJobs != 0 {
+		t.Errorf("serial runner scheduled %d pool tasks", st.InnerJobs)
+	}
+	// F3's memset sweep and A1's no-write-allocate memset sweep are the
+	// same points; the memo must have shared them even at -j 1.
+	if st.MemoHits == 0 {
+		t.Error("serial runner memo recorded no hits")
+	}
+}
+
+func mustLookup(t *testing.T, id string) *Experiment {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("missing experiment %s", id)
+	}
+	return e
+}
+
+func TestRunnerDefaultWorkers(t *testing.T) {
+	if w := NewRunner(0).workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := NewRunner(3).workers(); w != 3 {
+		t.Fatalf("explicit workers = %d, want 3", w)
+	}
+}
+
+func TestParallelForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var cfg Config
+		if workers > 1 {
+			cfg.pool = newWorkPool(workers)
+		}
+		const n = 100
+		var seen [n]atomic.Int32
+		parallelFor(cfg, n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForNeverDeadlocksWhenNested(t *testing.T) {
+	var cfg Config
+	cfg.pool = newWorkPool(2)
+	var count atomic.Int32
+	parallelFor(cfg, 8, func(int) {
+		parallelFor(cfg, 8, func(int) { count.Add(1) })
+	})
+	if count.Load() != 64 {
+		t.Fatalf("nested tasks = %d, want 64", count.Load())
+	}
+}
+
+func TestRunStatsSlowest(t *testing.T) {
+	st := &RunStats{Experiments: []ExperimentTiming{
+		{ID: "T2", Wall: 1}, {ID: "F1", Wall: 30}, {ID: "T3", Wall: 20},
+	}}
+	top := st.Slowest(2)
+	if len(top) != 2 || top[0].ID != "F1" || top[1].ID != "T3" {
+		t.Fatalf("Slowest(2) = %v", top)
+	}
+	if got := st.Slowest(10); len(got) != 3 {
+		t.Fatalf("Slowest(10) returned %d entries", len(got))
+	}
+}
+
+// TestMemSweepMemoMatchesDirect checks the memoized sweep against the
+// unmemoized one, and the memo's single-flight accounting.
+func TestMemSweepMemoMatchesDirect(t *testing.T) {
+	cfg := smallConfig()
+	sizes := []int{64, 1 << 10, 32 << 10}
+	direct := memSweep(cfg, cache.PentiumConfig(), memmodel.Memset,
+		memmodel.DefaultPrefetchDistance, sizes)
+	cfg.memo = memmodel.NewSweepCache()
+	first := memSweep(cfg, cache.PentiumConfig(), memmodel.Memset,
+		memmodel.DefaultPrefetchDistance, sizes)
+	second := memSweep(cfg, cache.PentiumConfig(), memmodel.Memset,
+		memmodel.DefaultPrefetchDistance, sizes)
+	for i := range sizes {
+		if direct[i] != first[i] || first[i] != second[i] {
+			t.Fatalf("point %d: direct %v, first %v, second %v", i, direct[i], first[i], second[i])
+		}
+	}
+	st := cfg.memo.Stats()
+	if st.Misses != uint64(len(sizes)) || st.Hits != uint64(len(sizes)) {
+		t.Fatalf("memo stats = %+v, want %d misses and %d hits", st, len(sizes), len(sizes))
+	}
+	// A different distance is a different key, even for a routine that
+	// never prefetches — correctness over cleverness.
+	cfg.memo.Bandwidth(bench.PaperPlatform().CPU, cache.PentiumConfig(), memmodel.Memset, 4, 64)
+	if got := cfg.memo.Stats().Misses; got != uint64(len(sizes))+1 {
+		t.Fatalf("distance not part of the key: misses = %d", got)
+	}
+}

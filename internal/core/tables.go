@@ -57,14 +57,16 @@ func tableExperiment(id, title, paperRef, unit string, dir stats.Direction,
 				YUnit: unit, Direction: dir,
 				Expected: expected, Notes: notes,
 			}
-			for _, p := range cfg.Profiles {
+			res.Series = make([]Series, len(cfg.Profiles))
+			parallelFor(cfg, len(cfg.Profiles), func(i int) {
+				p := cfg.Profiles[i]
 				mean := model(cfg, p, 0)
 				sample := noiseSample(cfg, saltFor(id, p.String(), 0), noiseFor(p, area), mean)
-				res.Series = append(res.Series, Series{
+				res.Series[i] = Series{
 					Label:   p.String(),
 					Samples: []*stats.Sample{sample},
-				})
-			}
+				}
+			})
 			return res
 		},
 	}

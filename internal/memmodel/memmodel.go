@@ -93,6 +93,10 @@ type Model struct {
 	srcBase, dstBase uint64
 }
 
+// DefaultPrefetchDistance is the lookahead of the paper's prefetching
+// routines, which touched the next line as the write took place.
+const DefaultPrefetchDistance = 1
+
 // NewModel builds a memory model over a fresh hierarchy with the given
 // configuration.
 func NewModel(c cpu.CPU, cfg cache.Config) *Model {
@@ -102,7 +106,7 @@ func NewModel(c cpu.CPU, cfg cache.Config) *Model {
 		ChunkLoop:        1.33,
 		LibcChunkLoop:    1.0,
 		TailLoop:         0.7,
-		PrefetchDistance: 1,
+		PrefetchDistance: DefaultPrefetchDistance,
 		srcBase:          1 << 20,
 	}
 }
