@@ -20,11 +20,11 @@ test:
 short:
 	$(GO) test -short ./...
 
-# Certifies the parallel runner race-free: the determinism regression test
-# in internal/core runs the whole suite on an 8-worker pool under the race
-# detector.
+# Certifies the parallel runner race-free (the determinism regression test
+# in internal/core runs the whole suite on an 8-worker pool) and runs the
+# cache fast-path differential tests under the race detector.
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/...
 
 vet:
 	$(GO) vet ./...

@@ -30,6 +30,8 @@
 //	             bit-identical at every N)
 //	-stats       print runner statistics (jobs, memo hits, wall time,
 //	             slowest experiments) to stderr after running
+//	-cpuprofile F  write a pprof CPU profile of the command to F
+//	-memprofile F  write a pprof heap profile (post-GC, at exit) to F
 //
 // All logic lives in internal/cli; this is a shim.
 package main

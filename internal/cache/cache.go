@@ -101,11 +101,15 @@ func PentiumConfig() Config {
 	}
 }
 
-// Stats counts the traffic observed at each level.
+// Stats counts the traffic observed at each level. Word and byte stores
+// that miss both caches are tracked separately (MemWordWrites vs
+// MemByteWrites) so tail-loop bus traffic is distinguishable from the
+// main-loop word traffic.
 type Stats struct {
 	L1Hits, L1Misses     uint64
 	L2Hits, L2Misses     uint64
-	MemWordWrites        uint64 // non-allocated word/byte writes to memory
+	MemWordWrites        uint64 // non-allocated 4-byte writes to memory
+	MemByteWrites        uint64 // non-allocated 1-byte writes to memory
 	L1WriteBacks         uint64 // dirty L1 lines pushed to L2
 	L2WriteBacks         uint64 // dirty L2 lines pushed to memory
 	PrefetchesIssued     uint64
@@ -115,16 +119,25 @@ type Stats struct {
 	BytesRead, BytesWrit uint64
 }
 
+// line is one cache way. key holds the line address plus one; zero marks
+// the way invalid, so a scan tests presence and tag with one comparison.
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
+	key   uint64
 	use   uint64 // LRU timestamp
+	dirty bool
 }
 
-// level is one set-associative, write-back cache array.
+// level is one set-associative, write-back cache array. The ways are
+// stored in one flat backing array — set s occupies
+// lines[s*assoc : (s+1)*assoc] — so a lookup costs a single bounds-checked
+// slice and construction a single allocation (the sweeps build a fresh
+// hierarchy per point, so construction cost is hot too). Two-way sets (the
+// paper's machine, both levels) additionally take unrolled scan paths,
+// selected by twoWay; the general loops remain for every other geometry.
 type level struct {
-	sets     [][]line
+	lines    []line
+	assoc    int
+	twoWay   bool
 	setShift uint
 	setMask  uint64
 	lineSize int
@@ -146,26 +159,49 @@ func newLevel(size, assoc, lineSize int) *level {
 	for l := lineSize; l > 1; l >>= 1 {
 		shift++
 	}
-	lv := &level{
-		sets:     make([][]line, nsets),
+	return &level{
+		lines:    make([]line, nsets*assoc),
+		assoc:    assoc,
+		twoWay:   assoc == 2,
 		setShift: shift,
 		setMask:  uint64(nsets - 1),
 		lineSize: lineSize,
 	}
-	for i := range lv.sets {
-		lv.sets[i] = make([]line, assoc)
-	}
-	return lv
 }
 
 func (lv *level) lineAddr(addr uint64) uint64 { return addr >> lv.setShift }
 
+// set returns the ways of the set holding line address la.
+func (lv *level) set(la uint64) []line {
+	s := int(la&lv.setMask) * lv.assoc
+	return lv.lines[s : s+lv.assoc]
+}
+
+// touch replays the LRU bump a per-access hit on l would perform.
+func (lv *level) touch(l *line) {
+	lv.tick++
+	l.use = lv.tick
+}
+
 // lookup finds the line containing addr. It returns the way or nil.
 func (lv *level) lookup(addr uint64) *line {
-	la := lv.lineAddr(addr)
-	set := lv.sets[la&lv.setMask]
+	key := lv.lineAddr(addr) + 1
+	if lv.twoWay {
+		i := int((key-1)&lv.setMask) * 2
+		w := &lv.lines[i]
+		if w.key != key {
+			w = &lv.lines[i+1]
+			if w.key != key {
+				return nil
+			}
+		}
+		lv.tick++
+		w.use = lv.tick
+		return w
+	}
+	set := lv.set(key - 1)
 	for i := range set {
-		if set[i].valid && set[i].tag == la {
+		if set[i].key == key {
 			lv.tick++
 			set[i].use = lv.tick
 			return &set[i]
@@ -175,32 +211,112 @@ func (lv *level) lookup(addr uint64) *line {
 }
 
 // insert places the line containing addr into the cache, returning the
-// victim line's (tag, dirty) if a valid line was evicted.
-func (lv *level) insert(addr uint64) (victimTag uint64, victimDirty, evicted bool) {
+// new line and the victim line's (tag, dirty) if a valid line was evicted.
+func (lv *level) insert(addr uint64) (l *line, victimTag uint64, victimDirty, evicted bool) {
 	la := lv.lineAddr(addr)
-	set := lv.sets[la&lv.setMask]
-	victim := &set[0]
-	for i := range set {
-		if !set[i].valid {
-			victim = &set[i]
-			break
+	var victim *line
+	if lv.twoWay {
+		// Unrolled victim choice, same policy as the loop below: the first
+		// free way wins, otherwise the least recently used (ties to way 0).
+		i := int(la&lv.setMask) * 2
+		victim = &lv.lines[i]
+		if victim.key != 0 {
+			if w1 := &lv.lines[i+1]; w1.key == 0 || w1.use < victim.use {
+				victim = w1
+			}
 		}
-		if set[i].use < victim.use {
-			victim = &set[i]
+	} else {
+		set := lv.set(la)
+		victim = &set[0]
+		for i := range set {
+			if set[i].key == 0 {
+				victim = &set[i]
+				break
+			}
+			if set[i].use < victim.use {
+				victim = &set[i]
+			}
 		}
 	}
-	victimTag, victimDirty, evicted = victim.tag, victim.dirty, victim.valid
+	// victim.key-1 underflows for an invalid way; evicted=false guards it.
+	victimTag, victimDirty, evicted = victim.key-1, victim.dirty, victim.key != 0
 	lv.tick++
-	*victim = line{tag: la, valid: true, use: lv.tick}
-	return victimTag, victimDirty, evicted
+	*victim = line{key: la + 1, use: lv.tick}
+	return victim, victimTag, victimDirty, evicted
+}
+
+// lookupOrInsert resolves addr's line in one set scan: on a hit it bumps
+// the LRU state and returns it, exactly as lookup; on a miss it inserts,
+// exactly as insert. Scanning once instead of lookup-then-insert is what
+// fill wants — the victim choice is identical because the first free way
+// wins and, failing that, the least recent use among the ways scanned
+// before it, just as insert's early-exit scan selects.
+func (lv *level) lookupOrInsert(addr uint64) (l *line, hit bool, victimTag uint64, victimDirty, evicted bool) {
+	key := lv.lineAddr(addr) + 1
+	var victim *line
+	if lv.twoWay {
+		i := int((key-1)&lv.setMask) * 2
+		w0, w1 := &lv.lines[i], &lv.lines[i+1]
+		if w0.key == key {
+			lv.tick++
+			w0.use = lv.tick
+			return w0, true, 0, false, false
+		}
+		if w1.key == key {
+			lv.tick++
+			w1.use = lv.tick
+			return w1, true, 0, false, false
+		}
+		victim = w0
+		if w0.key != 0 && (w1.key == 0 || w1.use < w0.use) {
+			victim = w1
+		}
+	} else {
+		set := lv.set(key - 1)
+		victim = &set[0]
+		free := false
+		for i := range set {
+			if set[i].key == key {
+				lv.tick++
+				set[i].use = lv.tick
+				return &set[i], true, 0, false, false
+			}
+			if !free {
+				if set[i].key == 0 {
+					victim = &set[i]
+					free = true
+				} else if set[i].use < victim.use {
+					victim = &set[i]
+				}
+			}
+		}
+	}
+	victimTag, victimDirty, evicted = victim.key-1, victim.dirty, victim.key != 0
+	lv.tick++
+	*victim = line{key: key, use: lv.tick}
+	return victim, false, victimTag, victimDirty, evicted
 }
 
 // invalidate drops the line containing the given line address, reporting
 // whether it was present and dirty.
 func (lv *level) invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
-	set := lv.sets[lineAddr&lv.setMask]
+	key := lineAddr + 1
+	if lv.twoWay {
+		i := int(lineAddr&lv.setMask) * 2
+		w := &lv.lines[i]
+		if w.key != key {
+			w = &lv.lines[i+1]
+			if w.key != key {
+				return false, false
+			}
+		}
+		wasDirty = w.dirty
+		*w = line{}
+		return wasDirty, true
+	}
+	set := lv.set(lineAddr)
 	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
+		if set[i].key == key {
 			wasDirty = set[i].dirty
 			set[i] = line{}
 			return wasDirty, true
@@ -210,10 +326,8 @@ func (lv *level) invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
 }
 
 func (lv *level) flush() {
-	for i := range lv.sets {
-		for j := range lv.sets[i] {
-			lv.sets[i][j] = line{}
-		}
+	for i := range lv.lines {
+		lv.lines[i] = line{}
 	}
 }
 
@@ -273,20 +387,20 @@ func (h *Hierarchy) Flush() {
 }
 
 // fill brings the line containing addr into L1 (and L2, maintaining
-// inclusion), charging fill and write-back costs. It assumes the line is not
-// already in L1.
-func (h *Hierarchy) fill(addr uint64) {
+// inclusion), charging fill and write-back costs, and returns the L1 line
+// it placed, saving callers a re-scan. It assumes the line is not already
+// in L1.
+func (h *Hierarchy) fill(addr uint64) *line {
 	t := &h.cfg.Timing
-	if h.l2.lookup(addr) != nil {
+	if _, hit, vt, vd, ev := h.l2.lookupOrInsert(addr); hit {
 		h.stats.L2Hits++
 		h.cycles += t.L1FillFromL2
 		h.stats.LinesFilledFromL2++
 	} else {
+		// Allocated in L2 (inclusive hierarchy).
 		h.stats.L2Misses++
 		h.cycles += t.L1FillFromL2 + t.FillFromMem
 		h.stats.LinesFilledFromMem++
-		// Allocate in L2 (inclusive hierarchy).
-		vt, vd, ev := h.l2.insert(addr)
 		if ev {
 			// Maintain inclusion: the victim must leave L1 too.
 			l1dirty, present := h.l1.invalidate(vt)
@@ -299,7 +413,7 @@ func (h *Hierarchy) fill(addr uint64) {
 			}
 		}
 	}
-	vt, vd, ev := h.l1.insert(addr)
+	l, vt, vd, ev := h.l1.insert(addr)
 	if ev && vd {
 		// Dirty L1 victim goes down to L2; mark the L2 copy dirty.
 		h.cycles += t.L1WriteBack
@@ -313,6 +427,7 @@ func (h *Hierarchy) fill(addr uint64) {
 			h.stats.L2WriteBacks++
 		}
 	}
+	return l
 }
 
 // ReadWords simulates n consecutive 4-byte loads starting at addr.
@@ -412,23 +527,453 @@ func (h *Hierarchy) WriteBytes(addr uint64, n int) {
 		}
 		h.stats.L2Misses++
 		h.cycles += t.MemByteWrite
-		h.stats.MemWordWrites++
+		h.stats.MemByteWrites++
+	}
+}
+
+// lineRun returns how many of the n accesses starting at addr with the
+// given stride begin inside the cache line containing addr. The model
+// classifies an access by its start address, so this is the length of the
+// prefix that resolves against a single tag.
+func (h *Hierarchy) lineRun(addr uint64, n, stride int) int {
+	lineEnd := (addr | uint64(h.cfg.LineSize-1)) + 1
+	k := int((lineEnd - addr + uint64(stride) - 1) / uint64(stride))
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// checkRun validates the chunked-loop parameters shared by the run-length
+// entry points.
+func checkRun(chunkWords int, chunkLoop float64) {
+	if chunkWords > 0 && chunkLoop < 0 {
+		panic("cache: negative chunk-loop charge")
+	}
+}
+
+// ReadRun simulates words consecutive 4-byte loads starting at addr,
+// charging chunkLoop cycles of loop overhead before every chunkWords loads
+// (chunkWords <= 0 charges no loop overhead). It is the run-length fast
+// path for ReadWords: one tag lookup and LRU update resolves each cache
+// line, and the per-word hit costs for the rest of the line are charged in
+// the same accumulation order as the per-access loop, so cycles and Stats
+// are bit-identical to issuing the equivalent per-word sequence
+// (RefHierarchy is that per-access decomposition; the differential test
+// holds the two together).
+func (h *Hierarchy) ReadRun(addr uint64, words, chunkWords int, chunkLoop float64) {
+	checkRun(chunkWords, chunkLoop)
+	if words <= 0 {
+		return
+	}
+	t := &h.cfg.Timing
+	h.stats.BytesRead += uint64(words) * WordSize
+	// The running ledger lives in a local for the duration of the run: the
+	// serial += chain is the hot path, and keeping it in h.cycles would
+	// reload and store the accumulator every word (the compiler cannot
+	// prove h.cycles and the timing constants don't alias). Only where the
+	// value is kept changes — the addition order is exactly per-access —
+	// and it is synced back around every fill, which charges h.cycles
+	// itself.
+	cycles, wordHit := h.cycles, t.WordHit
+	// untilLoop counts down the words remaining before the next per-chunk
+	// loop charge; a countdown avoids an integer division per word.
+	untilLoop := 0
+	for i := 0; i < words; {
+		a := addr + uint64(i)*WordSize
+		k := h.lineRun(a, words-i, WordSize)
+		// One lookup classifies the whole line: after the first load (which
+		// fills on a miss) the line is resident, so the remaining k-1 loads
+		// are L1 hits whose costs are replayed without consulting the tags.
+		if chunkWords > 0 {
+			if untilLoop == 0 {
+				cycles += chunkLoop
+				untilLoop = chunkWords
+			}
+			untilLoop--
+		}
+		cycles += wordHit
+		if h.l1.lookup(a) != nil {
+			h.stats.L1Hits++
+		} else {
+			h.stats.L1Misses++
+			h.cycles = cycles
+			h.fill(a)
+			cycles = h.cycles
+		}
+		for j := 1; j < k; j++ {
+			if chunkWords > 0 {
+				if untilLoop == 0 {
+					cycles += chunkLoop
+					untilLoop = chunkWords
+				}
+				untilLoop--
+			}
+			cycles += wordHit
+		}
+		h.stats.L1Hits += uint64(k - 1)
+		i += k
+	}
+	h.cycles = cycles
+}
+
+// runClass says how every access after the first in a line-length run
+// resolves: as L1 hits, as L2 hits (no-write-allocate stores to an
+// L2-resident line), or as individual memory transactions.
+type runClass int
+
+const (
+	runL1 runClass = iota
+	runL2
+	runMem
+)
+
+// WriteRun simulates words consecutive 4-byte stores starting at addr with
+// the same chunked loop structure as ReadRun. One tag lookup per line
+// classifies the stores — L1 hit, write-allocate fill, L2 hit, or memory
+// transaction — and the per-word costs of the remainder follow in the
+// per-access accumulation order.
+func (h *Hierarchy) WriteRun(addr uint64, words, chunkWords int, chunkLoop float64) {
+	checkRun(chunkWords, chunkLoop)
+	if words <= 0 {
+		return
+	}
+	t := &h.cfg.Timing
+	h.stats.BytesWrit += uint64(words) * WordSize
+	// As in ReadRun, the ledger lives in a local and is synced around fill.
+	cycles := h.cycles
+	untilLoop := 0
+	for i := 0; i < words; {
+		a := addr + uint64(i)*WordSize
+		k := h.lineRun(a, words-i, WordSize)
+		if chunkWords > 0 {
+			if untilLoop == 0 {
+				cycles += chunkLoop
+				untilLoop = chunkWords
+			}
+			untilLoop--
+		}
+		// First store of the line: full per-access path.
+		var class runClass
+		if l := h.l1.lookup(a); l != nil {
+			h.stats.L1Hits++
+			cycles += t.WordWriteHit
+			l.dirty = true
+			class = runL1
+		} else {
+			h.stats.L1Misses++
+			switch {
+			case h.cfg.WriteAllocate:
+				h.cycles = cycles
+				l := h.fill(a)
+				cycles = h.cycles
+				cycles += t.WordWriteHit
+				// Dirty the filled line with its LRU bump, as the
+				// per-access path's re-lookup does, without the scan.
+				h.l1.touch(l)
+				l.dirty = true
+				class = runL1 // the fill leaves the line in L1
+			default:
+				if l2 := h.l2.lookup(a); l2 != nil {
+					h.stats.L2Hits++
+					cycles += t.L2WordAccess
+					l2.dirty = true
+					class = runL2
+				} else {
+					h.stats.L2Misses++
+					cycles += t.MemWordWrite
+					h.stats.MemWordWrites++
+					class = runMem
+				}
+			}
+		}
+		// The remaining k-1 stores resolve identically: no-write-allocate
+		// misses never change cache state, and hits only re-touch the line.
+		var cost float64
+		switch class {
+		case runL1:
+			cost = t.WordWriteHit
+			h.stats.L1Hits += uint64(k - 1)
+		case runL2:
+			cost = t.L2WordAccess
+			h.stats.L1Misses += uint64(k - 1)
+			h.stats.L2Hits += uint64(k - 1)
+		case runMem:
+			cost = t.MemWordWrite
+			h.stats.L1Misses += uint64(k - 1)
+			h.stats.L2Misses += uint64(k - 1)
+			h.stats.MemWordWrites += uint64(k - 1)
+		}
+		for j := 1; j < k; j++ {
+			if chunkWords > 0 {
+				if untilLoop == 0 {
+					cycles += chunkLoop
+					untilLoop = chunkWords
+				}
+				untilLoop--
+			}
+			cycles += cost
+		}
+		i += k
+	}
+	h.cycles = cycles
+}
+
+// CopyRun simulates the interleaved main loop of a copy routine: for each
+// chunk of chunkWords words it charges chunkLoop cycles of loop overhead,
+// then the chunk's loads from src, then the chunk's stores to dst — the
+// exact accumulation order of the per-access loops (chunkWords <= 0 makes
+// the whole run a single chunk with no loop charge).
+//
+// Unlike the single-stream runs, collapsing same-line accesses to the
+// first one is NOT enough here: the two streams' LRU touches interleave,
+// so dropping the later touches can invert the relative last-touch order
+// of the source and destination lines and silently change a future
+// victim choice. CopyRun therefore keeps a pointer to each stream's
+// current line and replays every collapsed access's LRU bump directly on
+// it — the set scan is what the fast path saves, not the tick. Any fill
+// can evict the other stream's cached line (directly, or via an
+// inclusion invalidation), so it drops that stream's pointer and forces
+// a real lookup on its next access.
+func (h *Hierarchy) CopyRun(src, dst uint64, words, chunkWords int, chunkLoop float64) {
+	checkRun(chunkWords, chunkLoop)
+	if words <= 0 {
+		return
+	}
+	t := &h.cfg.Timing
+	h.stats.BytesRead += uint64(words) * WordSize
+	h.stats.BytesWrit += uint64(words) * WordSize
+	cw := chunkWords
+	if cw <= 0 {
+		cw = words
+	}
+	lineMask := ^uint64(h.cfg.LineSize - 1)
+	// As in ReadRun, the ledger lives in a local and is synced around fill.
+	cycles, wordHit := h.cycles, t.WordHit
+	var (
+		readLine, writeLine uint64
+		readPtr             *line // current src line, resident in L1
+		writePtr            *line // current dst line in L1 (runL1) or L2 (runL2)
+		writeValid          bool
+		writeClass          runClass
+		writeCost           float64
+	)
+	for i := 0; i < words; i += cw {
+		n := cw
+		if words-i < n {
+			n = words - i
+		}
+		if chunkWords > 0 {
+			cycles += chunkLoop
+		}
+		for j := 0; j < n; {
+			a := src + uint64(i+j)*WordSize
+			la := a & lineMask
+			if readPtr != nil && la == readLine {
+				// The rest of this chunk's loads on the cached line: serial
+				// per-word cycle charges (float addition order is the
+				// invariant), batched stats and a batched LRU replay — k
+				// consecutive touches of one line with no other cache event
+				// between them collapse to tick += k exactly.
+				k := h.lineRun(a, n-j, WordSize)
+				for w := 0; w < k; w++ {
+					cycles += wordHit
+				}
+				h.stats.L1Hits += uint64(k)
+				h.l1.tick += uint64(k)
+				readPtr.use = h.l1.tick
+				j += k
+				continue
+			}
+			cycles += wordHit
+			if l := h.l1.lookup(a); l != nil {
+				h.stats.L1Hits++
+				readPtr = l
+			} else {
+				h.stats.L1Misses++
+				h.cycles = cycles
+				readPtr = h.fill(a)
+				cycles = h.cycles
+				writeValid = false // the fill may have evicted the write line
+			}
+			readLine = la
+			j++
+		}
+		for j := 0; j < n; {
+			a := dst + uint64(i+j)*WordSize
+			la := a & lineMask
+			if writeValid && la == writeLine {
+				k := h.lineRun(a, n-j, WordSize)
+				for w := 0; w < k; w++ {
+					cycles += writeCost
+				}
+				switch writeClass {
+				case runL1:
+					h.stats.L1Hits += uint64(k)
+					h.l1.tick += uint64(k)
+					writePtr.use = h.l1.tick
+				case runL2:
+					h.stats.L1Misses += uint64(k)
+					h.stats.L2Hits += uint64(k)
+					h.l2.tick += uint64(k)
+					writePtr.use = h.l2.tick
+				case runMem:
+					h.stats.L1Misses += uint64(k)
+					h.stats.L2Misses += uint64(k)
+					h.stats.MemWordWrites += uint64(k)
+				}
+				j += k
+				continue
+			}
+			// First store of a line: the full per-access path, as in WriteRun.
+			if l := h.l1.lookup(a); l != nil {
+				h.stats.L1Hits++
+				cycles += t.WordWriteHit
+				l.dirty = true
+				writeClass, writeCost, writePtr = runL1, t.WordWriteHit, l
+			} else {
+				h.stats.L1Misses++
+				switch {
+				case h.cfg.WriteAllocate:
+					h.cycles = cycles
+					l := h.fill(a)
+					cycles = h.cycles
+					cycles += t.WordWriteHit
+					// The per-access path re-looks the line up to mark it
+					// dirty; the fill's pointer plus the lookup's LRU bump
+					// replays that without the scan.
+					h.l1.touch(l)
+					l.dirty = true
+					writePtr = l
+					readPtr = nil // the fill may have evicted the read line
+					writeClass, writeCost = runL1, t.WordWriteHit
+				default:
+					if l2 := h.l2.lookup(a); l2 != nil {
+						h.stats.L2Hits++
+						cycles += t.L2WordAccess
+						l2.dirty = true
+						writeClass, writeCost, writePtr = runL2, t.L2WordAccess, l2
+					} else {
+						h.stats.L2Misses++
+						cycles += t.MemWordWrite
+						h.stats.MemWordWrites++
+						writeClass, writeCost, writePtr = runMem, t.MemWordWrite, nil
+					}
+				}
+			}
+			writeLine, writeValid = la, writeClass != runL1 || writePtr != nil
+			j++
+		}
+	}
+	h.cycles = cycles
+}
+
+// ReadRunBytes is the run-length fast path for ReadBytes: one tag lookup
+// per line, per-byte costs for the rest.
+func (h *Hierarchy) ReadRunBytes(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	t := &h.cfg.Timing
+	h.stats.BytesRead += uint64(n)
+	for i := 0; i < n; {
+		a := addr + uint64(i)
+		k := h.lineRun(a, n-i, 1)
+		h.cycles += t.ByteOp
+		if h.l1.lookup(a) != nil {
+			h.stats.L1Hits++
+		} else {
+			h.stats.L1Misses++
+			h.fill(a)
+		}
+		for j := 1; j < k; j++ {
+			h.cycles += t.ByteOp
+		}
+		h.stats.L1Hits += uint64(k - 1)
+		i += k
+	}
+}
+
+// WriteRunBytes is the run-length fast path for WriteBytes: one tag lookup
+// per line classifies the stores, per-byte costs follow.
+func (h *Hierarchy) WriteRunBytes(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	t := &h.cfg.Timing
+	h.stats.BytesWrit += uint64(n)
+	for i := 0; i < n; {
+		a := addr + uint64(i)
+		k := h.lineRun(a, n-i, 1)
+		var class runClass
+		if l := h.l1.lookup(a); l != nil {
+			h.stats.L1Hits++
+			h.cycles += t.ByteOp
+			l.dirty = true
+			class = runL1
+		} else {
+			h.stats.L1Misses++
+			switch {
+			case h.cfg.WriteAllocate:
+				h.fill(a)
+				h.cycles += t.ByteOp
+				if l := h.l1.lookup(a); l != nil {
+					l.dirty = true
+				}
+				class = runL1
+			default:
+				if l2 := h.l2.lookup(a); l2 != nil {
+					h.stats.L2Hits++
+					h.cycles += t.L2WordAccess
+					l2.dirty = true
+					class = runL2
+				} else {
+					h.stats.L2Misses++
+					h.cycles += t.MemByteWrite
+					h.stats.MemByteWrites++
+					class = runMem
+				}
+			}
+		}
+		var cost float64
+		switch class {
+		case runL1:
+			cost = t.ByteOp
+			h.stats.L1Hits += uint64(k - 1)
+		case runL2:
+			cost = t.L2WordAccess
+			h.stats.L1Misses += uint64(k - 1)
+			h.stats.L2Hits += uint64(k - 1)
+		case runMem:
+			cost = t.MemByteWrite
+			h.stats.L1Misses += uint64(k - 1)
+			h.stats.L2Misses += uint64(k - 1)
+			h.stats.MemByteWrites += uint64(k - 1)
+		}
+		for j := 1; j < k; j++ {
+			h.cycles += cost
+		}
+		i += k
 	}
 }
 
 // Prefetch simulates a software prefetch: a load that touches one byte of
 // the line containing addr purely to force allocation. On the P54C this is
-// an ordinary load instruction whose result is discarded.
-func (h *Hierarchy) Prefetch(addr uint64) {
+// an ordinary load instruction whose result is discarded. It returns the
+// cycles it charged, so callers modeling fill overlap need not bracket the
+// call with two Cycles reads.
+func (h *Hierarchy) Prefetch(addr uint64) float64 {
+	start := h.cycles
 	h.stats.PrefetchesIssued++
 	h.cycles += h.cfg.Timing.PrefetchIssue
 	if h.l1.lookup(addr) != nil {
 		h.stats.L1Hits++
-		return
+		return h.cycles - start
 	}
 	h.stats.L1Misses++
 	h.stats.PrefetchesUseful++
 	h.fill(addr)
+	return h.cycles - start
 }
 
 // Contains reports at which level the line holding addr currently resides:
@@ -445,10 +990,10 @@ func (h *Hierarchy) Contains(addr uint64) int {
 }
 
 func (h *Hierarchy) peek(lv *level, addr uint64) bool {
-	la := lv.lineAddr(addr)
-	set := lv.sets[la&lv.setMask]
+	key := lv.lineAddr(addr) + 1
+	set := lv.set(key - 1)
 	for i := range set {
-		if set[i].valid && set[i].tag == la {
+		if set[i].key == key {
 			return true
 		}
 	}

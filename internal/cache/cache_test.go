@@ -176,8 +176,30 @@ func TestByteWriteMissGoesToMemory(t *testing.T) {
 	if h.Contains(0x6000) != 0 {
 		t.Fatal("byte write allocated a line under no-write-allocate")
 	}
-	if h.Stats().MemWordWrites != 1 {
-		t.Fatalf("byte write miss not counted: %+v", h.Stats())
+	if s := h.Stats(); s.MemByteWrites != 1 || s.MemWordWrites != 0 {
+		t.Fatalf("byte write miss miscounted: %+v", s)
+	}
+}
+
+// Word and byte write misses must land in their own bus-transaction
+// counters: a tail loop's byte stores are not word stores.
+func TestMemWriteCountersDistinguishWordsFromBytes(t *testing.T) {
+	h := pentium()
+	h.WriteWords(0x6000, 3) // 3 word transactions
+	h.WriteBytes(0x7000, 5) // 5 byte transactions
+	s := h.Stats()
+	if s.MemWordWrites != 3 {
+		t.Errorf("MemWordWrites = %d, want 3", s.MemWordWrites)
+	}
+	if s.MemByteWrites != 5 {
+		t.Errorf("MemByteWrites = %d, want 5", s.MemByteWrites)
+	}
+	// The run-length entry points must count identically.
+	h2 := pentium()
+	h2.WriteRun(0x6000, 3, 0, 0)
+	h2.WriteRunBytes(0x7000, 5)
+	if s2 := h2.Stats(); s2.MemWordWrites != 3 || s2.MemByteWrites != 5 {
+		t.Errorf("run-length counters: %+v, want MemWordWrites=3 MemByteWrites=5", s2)
 	}
 }
 

@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The differential property test: the line-granular fast path (Hierarchy's
+// run-length entry points) must be indistinguishable from the per-access
+// reference model (RefHierarchy) — identical float64 cycle ledgers,
+// identical Stats, identical residency — on randomized mixed traces over
+// varied geometries and both write-allocate policies. The reference is the
+// source of truth (DESIGN.md §8.1); any divergence is a fast-path bug.
+
+// diffGeometries returns the cache geometries the trace replay sweeps:
+// the paper's machine plus small, skewed and direct-mapped shapes that
+// stress set conflicts, line-boundary handling and inclusion victims.
+func diffGeometries() []Config {
+	tiny := Timing{
+		WordHit: 1, WordWriteHit: 0.85, ByteOp: 2.5, L2WordAccess: 2,
+		L1FillFromL2: 18.4, FillFromMem: 13.6, MemWordWrite: 8.5,
+		MemByteWrite: 8.5, L1WriteBack: 4, L2WriteBack: 16, PrefetchIssue: 0.8,
+	}
+	return []Config{
+		PentiumConfig(),
+		{LineSize: 16, L1Size: 1 << 10, L1Assoc: 1, L2Size: 8 << 10, L2Assoc: 2, Timing: tiny},
+		{LineSize: 32, L1Size: 2 << 10, L1Assoc: 4, L2Size: 16 << 10, L2Assoc: 1, Timing: tiny},
+		{LineSize: 64, L1Size: 4 << 10, L1Assoc: 2, L2Size: 64 << 10, L2Assoc: 4, Timing: tiny},
+	}
+}
+
+// replayRandomTrace drives fast and ref with an identical random op
+// sequence and compares ledger, stats and residency after every op.
+func replayRandomTrace(t *testing.T, cfg Config, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fast := New(cfg)
+	ref := NewRef(cfg)
+	// Keep the footprint a few multiples of L2 so hits, misses and
+	// evictions all occur; odd base for unaligned runs.
+	region := uint64(4 * cfg.L2Size)
+	loops := []float64{0, 0.7, 1.0, 1.33}
+	chunks := []int{0, 1, 3, 4, 8}
+	for op := 0; op < ops; op++ {
+		addr := rng.Uint64() % region
+		n := rng.Intn(4*cfg.LineSize/WordSize) + 1
+		cw := chunks[rng.Intn(len(chunks))]
+		cl := loops[rng.Intn(len(loops))]
+		kind := rng.Intn(11)
+		flush := kind == 9 && rng.Intn(16) == 0
+		// Second address for copy runs: usually disjoint, sometimes
+		// overlapping or set-conflicting with the first.
+		addr2 := rng.Uint64() % region
+		if rng.Intn(4) == 0 {
+			addr2 = addr + uint64(rng.Intn(2*cfg.LineSize))
+		}
+		apply := func(s Sim) {
+			switch kind {
+			case 0, 1:
+				s.ReadRun(addr, n, cw, cl)
+			case 2, 3:
+				s.WriteRun(addr, n, cw, cl)
+			case 4:
+				s.ReadRunBytes(addr, n)
+			case 5:
+				s.WriteRunBytes(addr, n)
+			case 6:
+				s.ReadWords(addr, n)
+			case 7:
+				s.WriteWords(addr, n)
+			case 8:
+				s.Prefetch(addr)
+			case 9:
+				if flush {
+					s.Flush()
+				} else {
+					s.AddCycles(cl)
+				}
+			case 10:
+				s.CopyRun(addr, addr2, n, cw, cl)
+			}
+		}
+		// The rng must feed both replays identically: decide the op once,
+		// apply it twice.
+		apply(fast)
+		apply(ref)
+		if fc, rc := fast.Cycles(), ref.Cycles(); fc != rc {
+			t.Fatalf("op %d (kind %d, addr %#x, n %d, chunk %d, loop %v): cycles fast=%v ref=%v",
+				op, kind, addr, n, cw, cl, fc, rc)
+		}
+		if fs, rs := fast.Stats(), ref.Stats(); fs != rs {
+			t.Fatalf("op %d (kind %d, addr %#x, n %d): stats diverge\nfast: %+v\nref:  %+v",
+				op, kind, addr, n, fs, rs)
+		}
+	}
+	// Residency must agree line by line across the whole touched region.
+	for a := uint64(0); a < region; a += uint64(cfg.LineSize) {
+		if fl, rl := fast.Contains(a), ref.Contains(a); fl != rl {
+			t.Fatalf("Contains(%#x): fast=%d ref=%d", a, fl, rl)
+		}
+	}
+}
+
+func TestDifferentialFastVsRef(t *testing.T) {
+	for gi, cfg := range diffGeometries() {
+		for _, wa := range []bool{false, true} {
+			cfg := cfg
+			cfg.WriteAllocate = wa
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("geom%d/writeAlloc=%v/seed%d", gi, wa, seed)
+				t.Run(name, func(t *testing.T) {
+					ops := 4000
+					if testing.Short() {
+						ops = 800
+					}
+					replayRandomTrace(t, cfg, seed*7919+int64(gi), ops)
+				})
+			}
+		}
+	}
+}
+
+// The run-length entry points must also agree with the per-access loops on
+// directed edge cases: zero-length runs, runs starting mid-line, runs
+// ending exactly on a line boundary, and partial trailing chunks.
+func TestRunEntryPointEdgeCases(t *testing.T) {
+	cfg := PentiumConfig()
+	cases := []struct {
+		name string
+		run  func(s Sim)
+	}{
+		{"empty read run", func(s Sim) { s.ReadRun(0x1000, 0, 4, 1.33) }},
+		{"empty write run", func(s Sim) { s.WriteRun(0x1000, 0, 4, 1.33) }},
+		{"empty byte runs", func(s Sim) { s.ReadRunBytes(0x40, 0); s.WriteRunBytes(0x40, 0) }},
+		{"mid-line start", func(s Sim) { s.ReadRun(0x101c, 16, 4, 1.33) }},
+		{"unaligned word addresses", func(s Sim) { s.ReadRun(0x1003, 16, 4, 1.0); s.WriteRun(0x2005, 16, 4, 1.0) }},
+		{"line-boundary end", func(s Sim) { s.WriteRun(0x1000, 8, 4, 0.7) }},
+		{"partial trailing chunk", func(s Sim) { s.ReadRun(0x1000, 10, 4, 1.33) }},
+		{"chunk larger than line", func(s Sim) { s.WriteRun(0x3000, 64, 32, 2.0) }},
+		{"byte tail across lines", func(s Sim) { s.ReadRunBytes(0x101e, 15); s.WriteRunBytes(0x201e, 15) }},
+		{"empty copy run", func(s Sim) { s.CopyRun(0x1000, 0x5000, 0, 4, 1.0) }},
+		{"disjoint copy run", func(s Sim) { s.CopyRun(0x1000, 0x5000, 32, 4, 1.0) }},
+		{"copy run, same line src and dst", func(s Sim) { s.CopyRun(0x1000, 0x1010, 8, 4, 1.0) }},
+		{"copy run, set-conflicting streams", func(s Sim) { s.CopyRun(0x1000, 0x1000+8<<10, 32, 4, 1.0) }},
+		{"copy run, unaligned partial chunk", func(s Sim) { s.CopyRun(0x1006, 0x5002, 10, 4, 0.7) }},
+		{"copy run, single chunk no loop", func(s Sim) { s.CopyRun(0x1000, 0x5000, 16, 0, 0) }},
+	}
+	for _, wa := range []bool{false, true} {
+		cfg.WriteAllocate = wa
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("%s/writeAlloc=%v", c.name, wa), func(t *testing.T) {
+				fast, ref := New(cfg), NewRef(cfg)
+				// Pre-warm part of the footprint so hits and misses mix.
+				for _, s := range []Sim{fast, ref} {
+					s.ReadWords(0x1000, 8)
+					c.run(s)
+				}
+				if fast.Cycles() != ref.Cycles() {
+					t.Errorf("cycles fast=%v ref=%v", fast.Cycles(), ref.Cycles())
+				}
+				if fast.Stats() != ref.Stats() {
+					t.Errorf("stats diverge\nfast: %+v\nref:  %+v", fast.Stats(), ref.Stats())
+				}
+			})
+		}
+	}
+}
+
+// A negative chunk-loop charge is a programming error on both paths.
+func TestRunNegativeLoopPanics(t *testing.T) {
+	for name, s := range map[string]Sim{"fast": New(PentiumConfig()), "ref": NewRef(PentiumConfig())} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("ReadRun with negative loop charge did not panic")
+				}
+			}()
+			s.ReadRun(0, 8, 4, -1)
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package cache
+
+// Sim is the access interface shared by the optimized Hierarchy and the
+// per-access RefHierarchy. Code that drives a cache model (package
+// memmodel, the differential tests) programs against Sim so either
+// implementation can be swapped in; both must produce bit-identical
+// cycle ledgers, Stats and Contains answers for the same access
+// sequence (DESIGN.md §8.1).
+type Sim interface {
+	// Config returns the hierarchy's configuration.
+	Config() Config
+	// Cycles returns the cycles consumed since the last ResetCycles.
+	Cycles() float64
+	// ResetCycles zeroes the cycle counter.
+	ResetCycles()
+	// AddCycles charges extra cycles (loop and ALU overhead).
+	AddCycles(c float64)
+	// Stats returns a copy of the traffic counters.
+	Stats() Stats
+	// ResetStats zeroes the traffic counters.
+	ResetStats()
+	// Flush invalidates every line in both levels.
+	Flush()
+	// ReadWords simulates n consecutive 4-byte loads starting at addr.
+	ReadWords(addr uint64, n int)
+	// WriteWords simulates n consecutive 4-byte stores starting at addr.
+	WriteWords(addr uint64, n int)
+	// ReadBytes simulates n consecutive 1-byte loads starting at addr.
+	ReadBytes(addr uint64, n int)
+	// WriteBytes simulates n consecutive 1-byte stores starting at addr.
+	WriteBytes(addr uint64, n int)
+	// ReadRun simulates words consecutive 4-byte loads starting at addr,
+	// charging chunkLoop cycles before every chunkWords loads.
+	ReadRun(addr uint64, words, chunkWords int, chunkLoop float64)
+	// WriteRun simulates words consecutive 4-byte stores starting at addr,
+	// charging chunkLoop cycles before every chunkWords stores.
+	WriteRun(addr uint64, words, chunkWords int, chunkLoop float64)
+	// CopyRun simulates an interleaved copy loop: per chunk, the loop
+	// charge, then chunkWords loads from src, then chunkWords stores to dst.
+	CopyRun(src, dst uint64, words, chunkWords int, chunkLoop float64)
+	// ReadRunBytes simulates n consecutive 1-byte loads starting at addr.
+	ReadRunBytes(addr uint64, n int)
+	// WriteRunBytes simulates n consecutive 1-byte stores starting at addr.
+	WriteRunBytes(addr uint64, n int)
+	// Prefetch simulates a software-prefetch touch of addr's line and
+	// returns the cycles it charged.
+	Prefetch(addr uint64) float64
+	// Contains reports the level holding addr's line (1, 2, or 0).
+	Contains(addr uint64) int
+}
+
+// Compile-time check that both implementations satisfy the interface.
+var (
+	_ Sim = (*Hierarchy)(nil)
+	_ Sim = (*RefHierarchy)(nil)
+)
+
+// RefHierarchy is the reference cache model: it implements the run-length
+// entry points by decomposing them into the per-access loops (ReadWords,
+// WriteWords, ...), which are the original, trusted implementation. The
+// fast paths in Hierarchy must match it bit for bit — cycles, Stats and
+// residency — on every access sequence; TestDifferentialFastVsRef replays
+// randomized traces through both to enforce that. RefHierarchy is the
+// source of truth: when the two disagree, the fast path is wrong.
+//
+// RefHierarchy wraps rather than embeds Hierarchy so that a run-length
+// method added to Hierarchy without a matching per-access decomposition
+// here fails to compile instead of silently inheriting the fast path.
+type RefHierarchy struct {
+	h *Hierarchy
+}
+
+// NewRef builds a reference hierarchy from cfg.
+func NewRef(cfg Config) *RefHierarchy { return &RefHierarchy{h: New(cfg)} }
+
+// Config returns the hierarchy's configuration.
+func (r *RefHierarchy) Config() Config { return r.h.Config() }
+
+// Cycles returns the cycles consumed since the last ResetCycles.
+func (r *RefHierarchy) Cycles() float64 { return r.h.Cycles() }
+
+// ResetCycles zeroes the cycle counter (statistics are kept).
+func (r *RefHierarchy) ResetCycles() { r.h.ResetCycles() }
+
+// AddCycles charges extra cycles against the ledger.
+func (r *RefHierarchy) AddCycles(c float64) { r.h.AddCycles(c) }
+
+// Stats returns a copy of the traffic counters.
+func (r *RefHierarchy) Stats() Stats { return r.h.Stats() }
+
+// ResetStats zeroes the traffic counters.
+func (r *RefHierarchy) ResetStats() { r.h.ResetStats() }
+
+// Flush invalidates every line in both levels.
+func (r *RefHierarchy) Flush() { r.h.Flush() }
+
+// ReadWords simulates n consecutive 4-byte loads starting at addr.
+func (r *RefHierarchy) ReadWords(addr uint64, n int) { r.h.ReadWords(addr, n) }
+
+// WriteWords simulates n consecutive 4-byte stores starting at addr.
+func (r *RefHierarchy) WriteWords(addr uint64, n int) { r.h.WriteWords(addr, n) }
+
+// ReadBytes simulates n consecutive 1-byte loads starting at addr.
+func (r *RefHierarchy) ReadBytes(addr uint64, n int) { r.h.ReadBytes(addr, n) }
+
+// WriteBytes simulates n consecutive 1-byte stores starting at addr.
+func (r *RefHierarchy) WriteBytes(addr uint64, n int) { r.h.WriteBytes(addr, n) }
+
+// Prefetch simulates a software-prefetch touch of addr's line and
+// returns the cycles it charged.
+func (r *RefHierarchy) Prefetch(addr uint64) float64 { return r.h.Prefetch(addr) }
+
+// Contains reports the level holding addr's line (1, 2, or 0).
+func (r *RefHierarchy) Contains(addr uint64) int { return r.h.Contains(addr) }
+
+// runChunks replays the chunked loop structure of a run through a
+// per-access body: chunkLoop cycles charged before every chunkWords
+// accesses, exactly as the run-length entry points interleave them.
+func (r *RefHierarchy) runChunks(n, chunk int, loop float64, body func(off, n int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		body(0, n)
+		return
+	}
+	for i := 0; i < n; i += chunk {
+		c := chunk
+		if c > n-i {
+			c = n - i
+		}
+		r.h.AddCycles(loop)
+		body(i, c)
+	}
+}
+
+// ReadRun decomposes the run into per-access ReadWords calls.
+func (r *RefHierarchy) ReadRun(addr uint64, words, chunkWords int, chunkLoop float64) {
+	checkRun(chunkWords, chunkLoop)
+	r.runChunks(words, chunkWords, chunkLoop, func(off, n int) {
+		r.h.ReadWords(addr+uint64(off)*WordSize, n)
+	})
+}
+
+// WriteRun decomposes the run into per-access WriteWords calls.
+func (r *RefHierarchy) WriteRun(addr uint64, words, chunkWords int, chunkLoop float64) {
+	checkRun(chunkWords, chunkLoop)
+	r.runChunks(words, chunkWords, chunkLoop, func(off, n int) {
+		r.h.WriteWords(addr+uint64(off)*WordSize, n)
+	})
+}
+
+// CopyRun decomposes the interleaved copy loop into per-access
+// ReadWords and WriteWords calls, chunk by chunk.
+func (r *RefHierarchy) CopyRun(src, dst uint64, words, chunkWords int, chunkLoop float64) {
+	checkRun(chunkWords, chunkLoop)
+	r.runChunks(words, chunkWords, chunkLoop, func(off, n int) {
+		r.h.ReadWords(src+uint64(off)*WordSize, n)
+		r.h.WriteWords(dst+uint64(off)*WordSize, n)
+	})
+}
+
+// ReadRunBytes decomposes the run into a per-access ReadBytes call.
+func (r *RefHierarchy) ReadRunBytes(addr uint64, n int) { r.h.ReadBytes(addr, n) }
+
+// WriteRunBytes decomposes the run into a per-access WriteBytes call.
+func (r *RefHierarchy) WriteRunBytes(addr uint64, n int) { r.h.WriteBytes(addr, n) }

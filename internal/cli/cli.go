@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -30,8 +32,8 @@ type App struct {
 	Stdout, Stderr io.Writer
 	// ReadFile loads a file (replay traces); defaults to os.ReadFile.
 	ReadFile func(string) ([]byte, error)
-	// CreateFile opens a file for writing (svg output); defaults to
-	// os.Create.
+	// CreateFile opens a file for writing (svg output, pprof profiles);
+	// defaults to os.Create.
 	CreateFile func(string) (io.WriteCloser, error)
 	// MkdirAll creates directories; defaults to os.MkdirAll.
 	MkdirAll func(string, os.FileMode) error
@@ -63,6 +65,8 @@ func (a *App) Execute(args []string) int {
 	profilesFile := fl.String("profiles", "", "JSON file with extra OS personalities to benchmark")
 	workers := fl.Int("j", 0, "parallel runner workers (0 = GOMAXPROCS, 1 = serial)")
 	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
+	cpuProfile := fl.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
+	memProfile := fl.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 	fl.Usage = func() { a.usage(fl) }
 
 	// The flag package stops at the first positional argument; re-parsing
@@ -108,26 +112,34 @@ func (a *App) Execute(args []string) int {
 		return 2
 	}
 	runner := core.NewRunner(*workers)
+	return a.profiled(*cpuProfile, *memProfile, func() int {
+		return a.dispatch(fl, cfg, runner, *showStats, *outDir, *eps, *trials, rest)
+	})
+}
+
+// dispatch routes a parsed command line to its subcommand.
+func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
+	showStats bool, outDir string, eps float64, trials int, rest []string) int {
 	switch rest[0] {
 	case "list":
 		a.list()
 		return 0
 	case "run":
-		return a.run(cfg, runner, *showStats, rest[1:], false)
+		return a.run(cfg, runner, showStats, rest[1:], false)
 	case "csv":
-		return a.run(cfg, runner, *showStats, rest[1:], true)
+		return a.run(cfg, runner, showStats, rest[1:], true)
 	case "svg":
-		return a.svg(cfg, runner, *showStats, rest[1:], *outDir)
+		return a.svg(cfg, runner, showStats, rest[1:], outDir)
 	case "experiments":
-		a.experiments(cfg, runner, *showStats)
+		a.experiments(cfg, runner, showStats)
 		return 0
 	case "html":
-		a.html(cfg, runner, *showStats)
+		a.html(cfg, runner, showStats)
 		return 0
 	case "check":
 		return a.check(cfg)
 	case "sensitivity":
-		a.sensitivity(cfg, *eps, *trials)
+		a.sensitivity(cfg, eps, trials)
 		return 0
 	case "replay":
 		return a.replay(cfg, rest[1:])
@@ -152,12 +164,58 @@ func (a *App) Execute(args []string) int {
 	}
 }
 
+// profiled runs cmd, optionally bracketed by pprof capture. The CPU
+// profile covers the whole subcommand (parsing is negligible); the heap
+// profile is written after a forced GC so it reflects memory still live
+// at exit rather than transient garbage. Both files come from
+// a.CreateFile, so tests can intercept them.
+func (a *App) profiled(cpuPath, memPath string, cmd func() int) int {
+	if cpuPath != "" {
+		f, err := a.CreateFile(cpuPath)
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 2
+		}
+		defer func() { // stopped below; defer covers early panics in cmd
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	code := cmd()
+	if cpuPath != "" {
+		pprof.StopCPUProfile() // idempotent with the deferred stop
+	}
+	if memPath != "" {
+		f, err := a.CreateFile(memPath)
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 2
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 2
+		}
+		f.Close()
+	}
+	return code
+}
+
 func (a *App) usage(fl *flag.FlagSet) {
 	fmt.Fprintln(a.Stderr, `usage: pentiumbench [flags] <command> [args] [flags]
 
 run, csv, svg, experiments and html execute on a parallel deterministic
 runner: -j picks the worker count (results are bit-identical at any -j),
 -stats reports jobs, memo hits and wall time on stderr.
+
+Any command can be profiled: -cpuprofile and -memprofile write pprof
+files for inspection with 'go tool pprof'.
 
 commands:
   list            show all experiments (tables, figures, ablations)

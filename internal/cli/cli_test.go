@@ -411,3 +411,36 @@ func TestSensitivityCommand(t *testing.T) {
 		t.Fatalf("sensitivity summary missing:\n%.300s", out.String())
 	}
 }
+
+// The profiling flags must work on any subcommand, writing both pprof
+// files through the injectable CreateFile.
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	a, _, errb, files := testApp()
+	if code := a.Execute([]string{"-cpuprofile", "cpu.pb", "-memprofile", "mem.pb", "list"}); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, path := range []string{"cpu.pb", "mem.pb"} {
+		b, ok := files[path]
+		if !ok {
+			t.Fatalf("%s was not created", path)
+		}
+		if b.Len() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfileFileCreateError(t *testing.T) {
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		a, _, errb, _ := testApp()
+		a.CreateFile = func(path string) (io.WriteCloser, error) {
+			return nil, fmt.Errorf("disk full: %s", path)
+		}
+		if code := a.Execute([]string{flag, "p.pb", "list"}); code != 2 {
+			t.Fatalf("%s: exit = %d, want 2", flag, code)
+		}
+		if !strings.Contains(errb.String(), "disk full") {
+			t.Fatalf("%s: error not reported: %s", flag, errb.String())
+		}
+	}
+}

@@ -38,6 +38,14 @@ type Config struct {
 	// Profiles are the systems under test, in presentation order.
 	Profiles []*osprofile.Profile
 
+	// UseRefModel routes the §6 cache-hierarchy sweeps through the
+	// per-access reference hierarchy (cache.RefHierarchy) instead of the
+	// line-granular fast path, bypassing the sweep memo. Results must be
+	// bit-identical either way — the fast path's defining invariant — so
+	// the flag exists purely to certify that end to end (it is much
+	// slower; see TestMemSweepRefModelBitIdentical).
+	UseRefModel bool
+
 	// pool is the worker pool of the Runner executing this configuration.
 	// Experiments fan their per-(series, sweep-point) model runs out on it
 	// via parallelFor; nil (the zero Config, and every direct e.Run call)

@@ -93,9 +93,15 @@ func memSweep(cfg Config, cacheCfg cache.Config, r memmodel.Routine, dist int, s
 	out := make([]bench.MemPoint, len(sizes))
 	parallelFor(cfg, len(sizes), func(i int) {
 		var mbs float64
-		if cfg.memo != nil {
+		switch {
+		case cfg.UseRefModel:
+			// Differential certification path: per-access reference model,
+			// no memo (the memo key does not carry the implementation, and
+			// sharing values would defeat the point of re-simulating).
+			mbs = memmodel.RefSweepPoint(cpuc, cacheCfg, r, dist, sizes[i])
+		case cfg.memo != nil:
 			mbs = cfg.memo.Bandwidth(cpuc, cacheCfg, r, dist, sizes[i])
-		} else {
+		default:
 			mbs = memmodel.SweepPoint(cpuc, cacheCfg, r, dist, sizes[i])
 		}
 		out[i] = bench.MemPoint{Size: sizes[i], MBs: mbs}

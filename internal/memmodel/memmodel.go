@@ -68,10 +68,16 @@ func (r Routine) IsCopy() bool {
 }
 
 // Model runs memory routines over a cache hierarchy. The zero value is not
-// usable; construct with NewModel.
+// usable; construct with NewModel (fast line-granular hierarchy) or
+// NewRefModel (per-access reference hierarchy; same results, slower).
 type Model struct {
 	cpu  cpu.CPU
-	hier *cache.Hierarchy
+	hier cache.Sim
+	// fast is hier's concrete type when the model runs on the optimized
+	// hierarchy, nil on the reference. The per-line hot paths call through
+	// it to avoid interface dispatch; every such call site falls back to
+	// hier so the reference model follows the identical code path.
+	fast *cache.Hierarchy
 
 	// ChunkLoop is the loop overhead in cycles charged per 16-byte
 	// main-loop iteration of the custom routines.
@@ -90,6 +96,13 @@ type Model struct {
 	// one line.
 	overlapSavings float64
 
+	// line and prefetchIssue cache hierarchy configuration the passes
+	// consult per line: reading them through the Sim interface would copy
+	// the whole Config struct on every call, which profiles as the single
+	// hottest item in the prefetch sweeps.
+	line          int
+	prefetchIssue float64
+
 	srcBase, dstBase uint64
 }
 
@@ -98,21 +111,76 @@ type Model struct {
 const DefaultPrefetchDistance = 1
 
 // NewModel builds a memory model over a fresh hierarchy with the given
-// configuration.
+// configuration. The passes issue run-length accesses, which the fast
+// hierarchy resolves with one tag lookup per cache line.
 func NewModel(c cpu.CPU, cfg cache.Config) *Model {
-	return &Model{
+	return newModelOn(c, cache.New(cfg))
+}
+
+// NewRefModel builds the model over the per-access reference hierarchy
+// (cache.RefHierarchy). Every result is bit-identical to NewModel's —
+// the fast path's defining invariant — just slower to simulate; core's
+// differential suite test and the property tests here rely on it.
+func NewRefModel(c cpu.CPU, cfg cache.Config) *Model {
+	return newModelOn(c, cache.NewRef(cfg))
+}
+
+func newModelOn(c cpu.CPU, sim cache.Sim) *Model {
+	cfg := sim.Config()
+	m := &Model{
 		cpu:              c,
-		hier:             cache.New(cfg),
+		hier:             sim,
 		ChunkLoop:        1.33,
 		LibcChunkLoop:    1.0,
 		TailLoop:         0.7,
 		PrefetchDistance: DefaultPrefetchDistance,
+		line:             cfg.LineSize,
+		prefetchIssue:    cfg.Timing.PrefetchIssue,
 		srcBase:          1 << 20,
 	}
+	m.fast, _ = sim.(*cache.Hierarchy)
+	return m
+}
+
+// The pass loops issue their cache operations through these thin dispatch
+// helpers: on the optimized hierarchy they call the concrete type (the
+// per-line-group calls of the prefetching passes are hot enough for
+// interface dispatch to show in profiles), otherwise they fall through to
+// the Sim interface. Both branches run the same simulation code.
+
+func (m *Model) readRun(addr uint64, words, cw int, loop float64) {
+	if m.fast != nil {
+		m.fast.ReadRun(addr, words, cw, loop)
+		return
+	}
+	m.hier.ReadRun(addr, words, cw, loop)
+}
+
+func (m *Model) writeRun(addr uint64, words, cw int, loop float64) {
+	if m.fast != nil {
+		m.fast.WriteRun(addr, words, cw, loop)
+		return
+	}
+	m.hier.WriteRun(addr, words, cw, loop)
+}
+
+func (m *Model) copyRun(src, dst uint64, words, cw int, loop float64) {
+	if m.fast != nil {
+		m.fast.CopyRun(src, dst, words, cw, loop)
+		return
+	}
+	m.hier.CopyRun(src, dst, words, cw, loop)
+}
+
+func (m *Model) prefetch(addr uint64) float64 {
+	if m.fast != nil {
+		return m.fast.Prefetch(addr)
+	}
+	return m.hier.Prefetch(addr)
 }
 
 // Hierarchy exposes the underlying cache model (for statistics).
-func (m *Model) Hierarchy() *cache.Hierarchy { return m.hier }
+func (m *Model) Hierarchy() cache.Sim { return m.hier }
 
 // layout positions the source and destination buffers the way the original
 // benchmark's allocator did: adjacent, line-aligned allocations.
@@ -122,29 +190,40 @@ func (m *Model) layout(size int) {
 }
 
 // readPass performs one pass of the custom read routine over size bytes.
+// The whole main loop is one run-length access: ReadRun replays the
+// per-chunk loop overhead and per-word costs in the original order while
+// resolving only one tag lookup per cache line.
 func (m *Model) readPass(base uint64, size int) {
 	chunks := size / ChunkSize
-	for i := 0; i < chunks; i++ {
-		m.chargeLoop(m.ChunkLoop)
-		m.hier.ReadWords(base+uint64(i*ChunkSize), wordsPerChunk)
-	}
+	m.readRun(base, chunks*wordsPerChunk, wordsPerChunk, m.ChunkLoop)
 	m.tailRead(base, size)
 }
 
-// writePass performs one pass of a write routine (memset or custom).
+// writePass performs one pass of a write routine (memset or custom). The
+// non-prefetching variants issue the main loop as a single run; the
+// prefetching variants break the run at each line boundary, where the
+// original loop interposes a prefetch touch.
 func (m *Model) writePass(base uint64, size int, loop float64, prefetch bool) {
 	chunks := size / ChunkSize
-	line := m.hier.Config().LineSize
-	if prefetch {
-		m.preamble(base, size)
+	if !prefetch {
+		m.writeRun(base, chunks*wordsPerChunk, wordsPerChunk, loop)
+		m.tailWrite(base, size)
+		return
 	}
-	for i := 0; i < chunks; i++ {
+	lineMask := uint64(m.line) - 1 // line sizes are powers of two
+	m.preamble(base, size)
+	for i := 0; i < chunks; {
 		addr := base + uint64(i*ChunkSize)
-		if prefetch && int(addr)%line == 0 {
+		if addr&lineMask == 0 {
 			m.prefetchAhead(addr, size, base)
 		}
-		m.chargeLoop(loop)
-		m.hier.WriteWords(addr, wordsPerChunk)
+		// Run until the next prefetch point (the next line-aligned chunk).
+		g := 1
+		for i+g < chunks && (base+uint64((i+g)*ChunkSize))&lineMask != 0 {
+			g++
+		}
+		m.writeRun(addr, g*wordsPerChunk, wordsPerChunk, loop)
+		i += g
 	}
 	m.tailWrite(base, size)
 }
@@ -154,41 +233,50 @@ func (m *Model) writePass(base uint64, size int, loop float64, prefetch bool) {
 // permanently uncached (real prefetching routines do the same before
 // entering their main loop).
 func (m *Model) preamble(base uint64, size int) {
-	line := m.hier.Config().LineSize
+	line := m.line
 	for d := 0; d < m.PrefetchDistance && d*line < size; d++ {
-		m.hier.Prefetch(base + uint64(d*line))
+		m.prefetch(base + uint64(d*line))
 	}
 }
 
-// copyPass performs one pass of a copy routine.
+// copyPass performs one pass of a copy routine. The interleaved
+// read/write main loop is issued through CopyRun — one call for the
+// whole loop in the non-prefetching variants, one call per line-group in
+// the prefetching ones, which interpose a touch at each line boundary.
 func (m *Model) copyPass(size int, loop float64, prefetch bool) {
 	chunks := size / ChunkSize
-	line := m.hier.Config().LineSize
-	if prefetch {
+	lineMask := uint64(m.line) - 1 // line sizes are powers of two
+	if !prefetch {
+		m.copyRun(m.srcBase, m.dstBase, chunks*wordsPerChunk, wordsPerChunk, loop)
+	} else {
 		m.preamble(m.dstBase, size)
 		m.preamble(m.srcBase, size)
-	}
-	for i := 0; i < chunks; i++ {
-		src := m.srcBase + uint64(i*ChunkSize)
-		dst := m.dstBase + uint64(i*ChunkSize)
-		if prefetch && int(dst)%line == 0 {
-			// The prefetching copy touches the destination line so the
-			// stores hit; the source line is loaded by the reads anyway,
-			// but touching it early hides its fill too.
-			m.prefetchAhead(dst, size, m.dstBase)
-			m.prefetchAhead(src, size, m.srcBase)
+		for i := 0; i < chunks; {
+			src := m.srcBase + uint64(i*ChunkSize)
+			dst := m.dstBase + uint64(i*ChunkSize)
+			if dst&lineMask == 0 {
+				// The prefetching copy touches the destination line so the
+				// stores hit; the source line is loaded by the reads anyway,
+				// but touching it early hides its fill too.
+				m.prefetchAhead(dst, size, m.dstBase)
+				m.prefetchAhead(src, size, m.srcBase)
+			}
+			// Run until the next prefetch point (the next line-aligned chunk).
+			g := 1
+			for i+g < chunks && (m.dstBase+uint64((i+g)*ChunkSize))&lineMask != 0 {
+				g++
+			}
+			m.copyRun(src, dst, g*wordsPerChunk, wordsPerChunk, loop)
+			i += g
 		}
-		m.chargeLoop(loop)
-		m.hier.ReadWords(src, wordsPerChunk)
-		m.hier.WriteWords(dst, wordsPerChunk)
 	}
 	// Tail: byte-at-a-time copy.
 	tail := size % ChunkSize
 	if tail > 0 {
 		off := uint64(size - tail)
-		m.hier.ReadBytes(m.srcBase+off, tail)
+		m.hier.ReadRunBytes(m.srcBase+off, tail)
 		m.chargeLoop(float64(tail) * m.TailLoop)
-		m.hier.WriteBytes(m.dstBase+off, tail)
+		m.hier.WriteRunBytes(m.dstBase+off, tail)
 	}
 }
 
@@ -196,14 +284,12 @@ func (m *Model) copyPass(size int, loop float64, prefetch bool) {
 // at the end of the buffer) and credits the overlap the lead allows. It
 // also touches the current line if the distance is zero.
 func (m *Model) prefetchAhead(addr uint64, size int, base uint64) {
-	line := uint64(m.hier.Config().LineSize)
+	line := uint64(m.line)
 	target := addr + uint64(m.PrefetchDistance)*line
 	if target >= base+uint64(size) {
 		target = addr
 	}
-	before := m.hier.Cycles()
-	m.hier.Prefetch(target)
-	fillCost := m.hier.Cycles() - before - m.hier.Config().Timing.PrefetchIssue
+	fillCost := m.prefetch(target) - m.prefetchIssue
 	if m.PrefetchDistance > 0 && fillCost > 0 {
 		// Each line of lead overlaps the fill with the processing of one
 		// line (two chunks of loop + word work).
@@ -220,7 +306,7 @@ func (m *Model) tailRead(base uint64, size int) {
 	tail := size % ChunkSize
 	if tail > 0 {
 		m.chargeLoop(float64(tail) * m.TailLoop)
-		m.hier.ReadBytes(base+uint64(size-tail), tail)
+		m.hier.ReadRunBytes(base+uint64(size-tail), tail)
 	}
 }
 
@@ -228,7 +314,7 @@ func (m *Model) tailWrite(base uint64, size int) {
 	tail := size % ChunkSize
 	if tail > 0 {
 		m.chargeLoop(float64(tail) * m.TailLoop)
-		m.hier.WriteBytes(base+uint64(size-tail), tail)
+		m.hier.WriteRunBytes(base+uint64(size-tail), tail)
 	}
 }
 
