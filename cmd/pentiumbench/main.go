@@ -13,6 +13,9 @@
 //	pentiumbench sensitivity          # claims under perturbed calibration
 //	pentiumbench replay mailspool     # time a workload trace per system
 //	pentiumbench latency              # lmbench-style probes
+//	pentiumbench trace                # annotated kernel timeline (-procs N)
+//	pentiumbench trace F1 -format=chrome > f1.json   # Perfetto-loadable trace
+//	pentiumbench metrics F1 F12       # per-phase cycle-attribution tables
 //	pentiumbench experiments          # regenerate EXPERIMENTS.md
 //	pentiumbench notes                # §11 qualitative findings
 //	pentiumbench platform             # the modelled hardware (Table 1)
@@ -25,9 +28,12 @@
 //	-out DIR     svg output directory
 //	-eps F       sensitivity perturbation (default 0.15)
 //	-trials N    sensitivity replicas (default 5)
-//	-j N         worker pool size for run/csv/svg/experiments/html
-//	             (default GOMAXPROCS; -j 1 is strictly serial; output is
-//	             bit-identical at every N)
+//	-j N         worker pool size for run/csv/svg/experiments/html/trace/
+//	             metrics (default GOMAXPROCS; -j 1 is strictly serial;
+//	             output is bit-identical at every N)
+//	-procs N     trace: token-ring size (default 3); metrics/trace <ids>:
+//	             F1 probe process count (default 8)
+//	-format F    trace <ids>: chrome (default, Perfetto JSON) or text
 //	-stats       print runner statistics (jobs, memo hits, wall time,
 //	             slowest experiments) to stderr after running
 //	-cpuprofile F  write a pprof CPU profile of the command to F

@@ -42,7 +42,11 @@ const GetpidIterations = 100_000
 // Getpid measures the mean time of one getpid() call over the benchmark's
 // loop, per §4.
 func Getpid(plat Platform, p *osprofile.Profile) sim.Duration {
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	return getpidOn(kernel.NewMachine(plat.CPU, p, sim.NewRNG(0)))
+}
+
+// getpidOn runs the getpid loop on a prepared machine (possibly observed).
+func getpidOn(m *kernel.Machine) sim.Duration {
 	start := m.Now()
 	var dispatch sim.Duration
 	m.Spawn("getpid-loop", func(pr *kernel.Proc) {
@@ -79,6 +83,11 @@ func Ctx(plat Platform, p *osprofile.Profile, nproc int, order CtxOrder) sim.Dur
 	if nproc < 2 {
 		panic("bench: ctx needs at least two processes")
 	}
+	return ctxOn(kernel.NewMachine(plat.CPU, p, sim.NewRNG(0)), nproc, order)
+}
+
+// ctxOn runs the ctx benchmark on a prepared machine (possibly observed).
+func ctxOn(m *kernel.Machine, nproc int, order CtxOrder) sim.Duration {
 	// Scale work down for big rings so every configuration does a few
 	// thousand hops; the per-switch mean is what matters.
 	hops := CtxSwitches
@@ -88,8 +97,6 @@ func Ctx(plat Platform, p *osprofile.Profile, nproc int, order CtxOrder) sim.Dur
 	if hops < 4*nproc {
 		hops = 4 * nproc
 	}
-
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
 	switch order {
 	case CtxRing:
 		return ctxRing(m, nproc, hops)

@@ -14,13 +14,23 @@ const CrtdelIterations = 50
 // size, per §7.2: open (create) a file, write the data, close it; open it
 // again, read the data, delete it — a compiler's temporary-file pattern.
 func Crtdel(plat Platform, p *osprofile.Profile, fileBytes int64, seed uint64) sim.Duration {
+	clock, fsys := crtdelSetup(plat, p, seed)
+	return crtdelOn(clock, fsys, fileBytes)
+}
+
+// crtdelSetup builds the benchmark's fresh file system and its clock.
+func crtdelSetup(plat Platform, p *osprofile.Profile, seed uint64) (*sim.Clock, *fs.FileSystem) {
+	clock := &sim.Clock{}
+	rng := sim.NewRNG(seed)
+	return clock, fs.New(clock, plat.Disk(rng.Fork(1)), p)
+}
+
+// crtdelOn runs the create/delete loop on a prepared file system
+// (possibly observed).
+func crtdelOn(clock *sim.Clock, fsys *fs.FileSystem, fileBytes int64) sim.Duration {
 	if fileBytes < 0 {
 		panic("bench: negative crtdel file size")
 	}
-	clock := &sim.Clock{}
-	rng := sim.NewRNG(seed)
-	fsys := fs.New(clock, plat.Disk(rng.Fork(1)), p)
-
 	start := clock.Now()
 	for i := 0; i < CrtdelIterations; i++ {
 		f, err := fsys.Create("/crtdel.tmp")

@@ -18,6 +18,12 @@ const (
 // running the two-process transfer on the simulated kernel.
 func BwPipe(plat Platform, p *osprofile.Profile) float64 {
 	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	return netstack.BandwidthMbps(BwPipeTotal, bwPipeOn(m))
+}
+
+// bwPipeOn runs the bw_pipe transfer on a prepared machine (possibly
+// observed) and returns the elapsed transfer time.
+func bwPipeOn(m *kernel.Machine) sim.Duration {
 	pipe := m.NewPipe()
 	var start sim.Time
 	m.Spawn("bw_pipe-writer", func(pr *kernel.Proc) {
@@ -30,8 +36,7 @@ func BwPipe(plat Platform, p *osprofile.Profile) float64 {
 		pr.ReadFull(pipe, BwPipeTotal)
 	})
 	m.Run()
-	elapsed := m.Now().Sub(start)
-	return netstack.BandwidthMbps(BwPipeTotal, elapsed)
+	return m.Now().Sub(start)
 }
 
 // TTCPTotal is the UDP benchmark's per-iteration transfer (§9.2:

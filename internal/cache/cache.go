@@ -340,6 +340,10 @@ type Hierarchy struct {
 	l1, l2 *level
 	cycles float64
 	stats  Stats
+	// attr, when non-nil, receives a per-bucket copy of every cycle
+	// charged (see AttachBreakdown in obs.go). The run-length fast paths
+	// divert to the per-access decomposition while it is attached.
+	attr *CycleBreakdown
 }
 
 // New builds a hierarchy from cfg. It panics on invalid geometry, since a
@@ -361,8 +365,15 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // Cycles returns the cycles consumed since the last ResetCycles.
 func (h *Hierarchy) Cycles() float64 { return h.cycles }
 
-// ResetCycles zeroes the cycle counter (statistics are kept).
-func (h *Hierarchy) ResetCycles() { h.cycles = 0 }
+// ResetCycles zeroes the cycle counter (statistics are kept). An attached
+// breakdown is zeroed with it, preserving the Total() == Cycles()
+// identity.
+func (h *Hierarchy) ResetCycles() {
+	h.cycles = 0
+	if h.attr != nil {
+		*h.attr = CycleBreakdown{}
+	}
+}
 
 // AddCycles charges extra cycles against the hierarchy's ledger. Callers
 // use it for loop and ALU overhead that accompanies the memory accesses.
@@ -371,6 +382,9 @@ func (h *Hierarchy) AddCycles(c float64) {
 		panic("cache: negative cycle charge")
 	}
 	h.cycles += c
+	if h.attr != nil {
+		h.attr.Overhead += c
+	}
 }
 
 // Stats returns a copy of the traffic counters.
@@ -396,11 +410,18 @@ func (h *Hierarchy) fill(addr uint64) *line {
 		h.stats.L2Hits++
 		h.cycles += t.L1FillFromL2
 		h.stats.LinesFilledFromL2++
+		if h.attr != nil {
+			h.attr.L2 += t.L1FillFromL2
+		}
 	} else {
 		// Allocated in L2 (inclusive hierarchy).
 		h.stats.L2Misses++
 		h.cycles += t.L1FillFromL2 + t.FillFromMem
 		h.stats.LinesFilledFromMem++
+		if h.attr != nil {
+			h.attr.L2 += t.L1FillFromL2
+			h.attr.Mem += t.FillFromMem
+		}
 		if ev {
 			// Maintain inclusion: the victim must leave L1 too.
 			l1dirty, present := h.l1.invalidate(vt)
@@ -410,6 +431,9 @@ func (h *Hierarchy) fill(addr uint64) *line {
 			if vd {
 				h.cycles += t.L2WriteBack
 				h.stats.L2WriteBacks++
+				if h.attr != nil {
+					h.attr.WriteBack += t.L2WriteBack
+				}
 			}
 		}
 	}
@@ -418,6 +442,9 @@ func (h *Hierarchy) fill(addr uint64) *line {
 		// Dirty L1 victim goes down to L2; mark the L2 copy dirty.
 		h.cycles += t.L1WriteBack
 		h.stats.L1WriteBacks++
+		if h.attr != nil {
+			h.attr.WriteBack += t.L1WriteBack
+		}
 		if l2line := h.l2.lookup(vt << h.l2.setShift); l2line != nil {
 			l2line.dirty = true
 		} else {
@@ -425,6 +452,9 @@ func (h *Hierarchy) fill(addr uint64) *line {
 			// and now; burst the line to memory.
 			h.cycles += t.L2WriteBack
 			h.stats.L2WriteBacks++
+			if h.attr != nil {
+				h.attr.WriteBack += t.L2WriteBack
+			}
 		}
 	}
 	return l
@@ -437,6 +467,9 @@ func (h *Hierarchy) ReadWords(addr uint64, n int) {
 	for i := 0; i < n; i++ {
 		a := addr + uint64(i)*WordSize
 		h.cycles += t.WordHit
+		if h.attr != nil {
+			h.attr.L1 += t.WordHit
+		}
 		if h.l1.lookup(a) != nil {
 			h.stats.L1Hits++
 			continue
@@ -455,6 +488,9 @@ func (h *Hierarchy) WriteWords(addr uint64, n int) {
 		if l := h.l1.lookup(a); l != nil {
 			h.stats.L1Hits++
 			h.cycles += t.WordWriteHit
+			if h.attr != nil {
+				h.attr.L1 += t.WordWriteHit
+			}
 			l.dirty = true
 			continue
 		}
@@ -463,6 +499,9 @@ func (h *Hierarchy) WriteWords(addr uint64, n int) {
 			// Write-allocate: fill the line, then the store hits.
 			h.fill(a)
 			h.cycles += t.WordWriteHit
+			if h.attr != nil {
+				h.attr.L1 += t.WordWriteHit
+			}
 			if l := h.l1.lookup(a); l != nil {
 				l.dirty = true
 			}
@@ -472,12 +511,18 @@ func (h *Hierarchy) WriteWords(addr uint64, n int) {
 		if l2 := h.l2.lookup(a); l2 != nil {
 			h.stats.L2Hits++
 			h.cycles += t.L2WordAccess
+			if h.attr != nil {
+				h.attr.L2 += t.L2WordAccess
+			}
 			l2.dirty = true
 			continue
 		}
 		h.stats.L2Misses++
 		h.cycles += t.MemWordWrite
 		h.stats.MemWordWrites++
+		if h.attr != nil {
+			h.attr.Mem += t.MemWordWrite
+		}
 	}
 }
 
@@ -489,6 +534,9 @@ func (h *Hierarchy) ReadBytes(addr uint64, n int) {
 	for i := 0; i < n; i++ {
 		a := addr + uint64(i)
 		h.cycles += t.ByteOp
+		if h.attr != nil {
+			h.attr.L1 += t.ByteOp
+		}
 		if h.l1.lookup(a) != nil {
 			h.stats.L1Hits++
 			continue
@@ -507,6 +555,9 @@ func (h *Hierarchy) WriteBytes(addr uint64, n int) {
 		if l := h.l1.lookup(a); l != nil {
 			h.stats.L1Hits++
 			h.cycles += t.ByteOp
+			if h.attr != nil {
+				h.attr.L1 += t.ByteOp
+			}
 			l.dirty = true
 			continue
 		}
@@ -514,6 +565,9 @@ func (h *Hierarchy) WriteBytes(addr uint64, n int) {
 		if h.cfg.WriteAllocate {
 			h.fill(a)
 			h.cycles += t.ByteOp
+			if h.attr != nil {
+				h.attr.L1 += t.ByteOp
+			}
 			if l := h.l1.lookup(a); l != nil {
 				l.dirty = true
 			}
@@ -522,12 +576,18 @@ func (h *Hierarchy) WriteBytes(addr uint64, n int) {
 		if l2 := h.l2.lookup(a); l2 != nil {
 			h.stats.L2Hits++
 			h.cycles += t.L2WordAccess
+			if h.attr != nil {
+				h.attr.L2 += t.L2WordAccess
+			}
 			l2.dirty = true
 			continue
 		}
 		h.stats.L2Misses++
 		h.cycles += t.MemByteWrite
 		h.stats.MemByteWrites++
+		if h.attr != nil {
+			h.attr.Mem += t.MemByteWrite
+		}
 	}
 }
 
@@ -552,6 +612,30 @@ func checkRun(chunkWords int, chunkLoop float64) {
 	}
 }
 
+// runChunks replays the chunked loop structure of a run through a
+// per-access body: chunkLoop cycles charged before every chunkWords
+// accesses, exactly as the run-length entry points interleave them. It
+// is the single decomposition implementation shared by RefHierarchy and
+// by Hierarchy when a cycle breakdown is attached, so both take the same
+// trusted path.
+func (h *Hierarchy) runChunks(n, chunk int, loop float64, body func(off, n int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		body(0, n)
+		return
+	}
+	for i := 0; i < n; i += chunk {
+		c := chunk
+		if c > n-i {
+			c = n - i
+		}
+		h.AddCycles(loop)
+		body(i, c)
+	}
+}
+
 // ReadRun simulates words consecutive 4-byte loads starting at addr,
 // charging chunkLoop cycles of loop overhead before every chunkWords loads
 // (chunkWords <= 0 charges no loop overhead). It is the run-length fast
@@ -564,6 +648,15 @@ func checkRun(chunkWords int, chunkLoop float64) {
 func (h *Hierarchy) ReadRun(addr uint64, words, chunkWords int, chunkLoop float64) {
 	checkRun(chunkWords, chunkLoop)
 	if words <= 0 {
+		return
+	}
+	if h.attr != nil {
+		// Attribution attached: take the per-access decomposition, where
+		// every charge lands in exactly one bucket. Bit-identical to the
+		// fast path by the §8.1 invariant.
+		h.runChunks(words, chunkWords, chunkLoop, func(off, n int) {
+			h.ReadWords(addr+uint64(off)*WordSize, n)
+		})
 		return
 	}
 	t := &h.cfg.Timing
@@ -636,6 +729,12 @@ const (
 func (h *Hierarchy) WriteRun(addr uint64, words, chunkWords int, chunkLoop float64) {
 	checkRun(chunkWords, chunkLoop)
 	if words <= 0 {
+		return
+	}
+	if h.attr != nil {
+		h.runChunks(words, chunkWords, chunkLoop, func(off, n int) {
+			h.WriteWords(addr+uint64(off)*WordSize, n)
+		})
 		return
 	}
 	t := &h.cfg.Timing
@@ -738,6 +837,13 @@ func (h *Hierarchy) WriteRun(addr uint64, words, chunkWords int, chunkLoop float
 func (h *Hierarchy) CopyRun(src, dst uint64, words, chunkWords int, chunkLoop float64) {
 	checkRun(chunkWords, chunkLoop)
 	if words <= 0 {
+		return
+	}
+	if h.attr != nil {
+		h.runChunks(words, chunkWords, chunkLoop, func(off, n int) {
+			h.ReadWords(src+uint64(off)*WordSize, n)
+			h.WriteWords(dst+uint64(off)*WordSize, n)
+		})
 		return
 	}
 	t := &h.cfg.Timing
@@ -874,6 +980,10 @@ func (h *Hierarchy) ReadRunBytes(addr uint64, n int) {
 	if n <= 0 {
 		return
 	}
+	if h.attr != nil {
+		h.ReadBytes(addr, n)
+		return
+	}
 	t := &h.cfg.Timing
 	h.stats.BytesRead += uint64(n)
 	for i := 0; i < n; {
@@ -898,6 +1008,10 @@ func (h *Hierarchy) ReadRunBytes(addr uint64, n int) {
 // per line classifies the stores, per-byte costs follow.
 func (h *Hierarchy) WriteRunBytes(addr uint64, n int) {
 	if n <= 0 {
+		return
+	}
+	if h.attr != nil {
+		h.WriteBytes(addr, n)
 		return
 	}
 	t := &h.cfg.Timing
@@ -966,6 +1080,9 @@ func (h *Hierarchy) Prefetch(addr uint64) float64 {
 	start := h.cycles
 	h.stats.PrefetchesIssued++
 	h.cycles += h.cfg.Timing.PrefetchIssue
+	if h.attr != nil {
+		h.attr.Overhead += h.cfg.Timing.PrefetchIssue
+	}
 	if h.l1.lookup(addr) != nil {
 		h.stats.L1Hits++
 		return h.cycles - start

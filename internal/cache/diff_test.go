@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // The differential property test: the line-granular fast path (Hierarchy's
@@ -178,5 +180,155 @@ func TestRunNegativeLoopPanics(t *testing.T) {
 			}()
 			s.ReadRun(0, 8, 4, -1)
 		})
+	}
+}
+
+// replayBreakdownTrace drives three replicas of the same random trace:
+// the detached fast path (the production configuration), the fast path
+// with an attached CycleBreakdown (which diverts runs to the per-access
+// decomposition), and the reference with an attached breakdown. It holds
+// three properties at every op: attaching attribution never changes the
+// cycle ledger or Stats; both attributed replicas produce identical
+// breakdowns; and each breakdown's Total equals its ledger exactly.
+func replayBreakdownTrace(t *testing.T, cfg Config, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	plain := New(cfg)
+	fast, ref := New(cfg), NewRef(cfg)
+	var fb, rb CycleBreakdown
+	fast.AttachBreakdown(&fb)
+	ref.AttachBreakdown(&rb)
+	region := uint64(4 * cfg.L2Size)
+	loops := []float64{0, 0.7, 1.33}
+	chunks := []int{0, 3, 4}
+	for op := 0; op < ops; op++ {
+		addr := rng.Uint64() % region
+		addr2 := rng.Uint64() % region
+		n := rng.Intn(4*cfg.LineSize/WordSize) + 1
+		cw := chunks[rng.Intn(len(chunks))]
+		cl := loops[rng.Intn(len(loops))]
+		kind := rng.Intn(9)
+		apply := func(s Sim) {
+			switch kind {
+			case 0:
+				s.ReadRun(addr, n, cw, cl)
+			case 1:
+				s.WriteRun(addr, n, cw, cl)
+			case 2:
+				s.CopyRun(addr, addr2, n, cw, cl)
+			case 3:
+				s.ReadRunBytes(addr, n)
+			case 4:
+				s.WriteRunBytes(addr, n)
+			case 5:
+				s.ReadWords(addr, n)
+			case 6:
+				s.WriteWords(addr, n)
+			case 7:
+				s.Prefetch(addr)
+			case 8:
+				s.AddCycles(cl)
+			}
+		}
+		apply(plain)
+		apply(fast)
+		apply(ref)
+		if plain.Cycles() != fast.Cycles() {
+			t.Fatalf("op %d (kind %d): attaching a breakdown changed the ledger: %v vs %v",
+				op, kind, plain.Cycles(), fast.Cycles())
+		}
+		if plain.Stats() != fast.Stats() {
+			t.Fatalf("op %d (kind %d): attaching a breakdown changed Stats", op, kind)
+		}
+		if fb != rb {
+			t.Fatalf("op %d (kind %d): breakdowns diverge\nfast: %+v\nref:  %+v", op, kind, fb, rb)
+		}
+		// The buckets sum the same charges as the ledger but grouped by
+		// kind, so the totals agree to float re-association, not bit-exactly.
+		if total, cyc := fb.Total(), fast.Cycles(); !closeEnough(total, cyc) {
+			t.Fatalf("op %d (kind %d): breakdown total %v != cycles %v (breakdown %+v)",
+				op, kind, total, cyc, fb)
+		}
+	}
+}
+
+// closeEnough compares two cycle totals up to float re-association error.
+func closeEnough(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= 1e-9*scale
+}
+
+func TestBreakdownAttribution(t *testing.T) {
+	for gi, cfg := range diffGeometries() {
+		for _, wa := range []bool{false, true} {
+			cfg := cfg
+			cfg.WriteAllocate = wa
+			t.Run(fmt.Sprintf("geom%d/writeAlloc=%v", gi, wa), func(t *testing.T) {
+				ops := 2000
+				if testing.Short() {
+					ops = 400
+				}
+				replayBreakdownTrace(t, cfg, int64(gi)*104729+7, ops)
+			})
+		}
+	}
+}
+
+// The differential guarantee extends to the obs metric fold: identical
+// Stats must fold to identical (and Equal) registry snapshots.
+func TestDifferentialMetricSnapshots(t *testing.T) {
+	cfg := PentiumConfig()
+	fast, ref := New(cfg), NewRef(cfg)
+	for _, s := range []Sim{fast, ref} {
+		s.ReadRun(0x1000, 4096, 4, 1.33)
+		s.WriteRun(0x9000, 4096, 4, 1.0)
+		s.CopyRun(0x1000, 0x40000, 2048, 4, 1.33)
+		s.ReadRunBytes(0x5001, 100)
+		s.Prefetch(0x80000)
+	}
+	fr, rr := obs.NewRegistry(), obs.NewRegistry()
+	fast.Stats().FoldStats(fr, "cache.")
+	ref.Stats().FoldStats(rr, "cache.")
+	fs, rs := fr.Snapshot(), rr.Snapshot()
+	if !fs.Equal(rs) {
+		t.Fatalf("metric snapshots diverge\nfast:\n%srref:\n%s", fs, rs)
+	}
+	if v, ok := fs.Get("cache.l1_misses"); !ok || v == 0 {
+		t.Fatalf("expected nonzero cache.l1_misses, got %v %v", v, ok)
+	}
+}
+
+func TestBreakdownResetAndDetach(t *testing.T) {
+	h := New(PentiumConfig())
+	var b CycleBreakdown
+	h.AttachBreakdown(&b)
+	h.ReadWords(0x1000, 64)
+	if b.Total() != h.Cycles() {
+		t.Fatalf("total %v != cycles %v", b.Total(), h.Cycles())
+	}
+	if b.L1 == 0 || b.L2 == 0 || b.Mem == 0 {
+		t.Fatalf("cold-read breakdown should touch L1, L2 and memory: %+v", b)
+	}
+	h.ResetCycles()
+	if b.Total() != 0 || h.Cycles() != 0 {
+		t.Fatalf("ResetCycles must zero the attached breakdown: %+v", b)
+	}
+	h.AttachBreakdown(nil)
+	h.ReadWords(0x2000, 64)
+	if b.Total() != 0 {
+		t.Fatalf("detached breakdown must not accumulate: %+v", b)
+	}
+	if d := b.Sub(CycleBreakdown{L1: 1}); d.L1 != -1 {
+		t.Fatalf("Sub: %+v", d)
 	}
 }

@@ -47,6 +47,9 @@ type Sim interface {
 	Prefetch(addr uint64) float64
 	// Contains reports the level holding addr's line (1, 2, or 0).
 	Contains(addr uint64) int
+	// AttachBreakdown starts attributing every charged cycle into b (nil
+	// detaches); the breakdown's Total tracks Cycles exactly.
+	AttachBreakdown(b *CycleBreakdown)
 }
 
 // Compile-time check that both implementations satisfy the interface.
@@ -114,24 +117,10 @@ func (r *RefHierarchy) Prefetch(addr uint64) float64 { return r.h.Prefetch(addr)
 func (r *RefHierarchy) Contains(addr uint64) int { return r.h.Contains(addr) }
 
 // runChunks replays the chunked loop structure of a run through a
-// per-access body: chunkLoop cycles charged before every chunkWords
-// accesses, exactly as the run-length entry points interleave them.
+// per-access body (shared with Hierarchy's attribution path, see
+// cache.go).
 func (r *RefHierarchy) runChunks(n, chunk int, loop float64, body func(off, n int)) {
-	if n <= 0 {
-		return
-	}
-	if chunk <= 0 {
-		body(0, n)
-		return
-	}
-	for i := 0; i < n; i += chunk {
-		c := chunk
-		if c > n-i {
-			c = n - i
-		}
-		r.h.AddCycles(loop)
-		body(i, c)
-	}
+	r.h.runChunks(n, chunk, loop, body)
 }
 
 // ReadRun decomposes the run into per-access ReadWords calls.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/notes"
+	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -64,6 +65,8 @@ func (a *App) Execute(args []string) int {
 	trials := fl.Int("trials", 5, "sensitivity: perturbed replicas")
 	profilesFile := fl.String("profiles", "", "JSON file with extra OS personalities to benchmark")
 	workers := fl.Int("j", 0, "parallel runner workers (0 = GOMAXPROCS, 1 = serial)")
+	procs := fl.Int("procs", 0, "trace/metrics: process count — ring size for the bare timeline (default 3), F1 probe processes (default 8)")
+	format := fl.String("format", "chrome", "trace <ids>: output format, 'chrome' (Perfetto-loadable JSON) or 'text'")
 	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
 	cpuProfile := fl.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
 	memProfile := fl.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
@@ -113,13 +116,15 @@ func (a *App) Execute(args []string) int {
 	}
 	runner := core.NewRunner(*workers)
 	return a.profiled(*cpuProfile, *memProfile, func() int {
-		return a.dispatch(fl, cfg, runner, *showStats, *outDir, *eps, *trials, rest)
+		return a.dispatch(fl, cfg, runner, *showStats, *outDir, *eps, *trials,
+			*procs, *format, rest)
 	})
 }
 
 // dispatch routes a parsed command line to its subcommand.
 func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
-	showStats bool, outDir string, eps float64, trials int, rest []string) int {
+	showStats bool, outDir string, eps float64, trials int,
+	procs int, format string, rest []string) int {
 	switch rest[0] {
 	case "list":
 		a.list()
@@ -147,8 +152,9 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 		a.latency(cfg)
 		return 0
 	case "trace":
-		a.trace(cfg)
-		return 0
+		return a.trace(cfg, runner, rest[1:], procs, format)
+	case "metrics":
+		return a.metrics(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs})
 	case "notes":
 		a.notes()
 		return 0
@@ -228,7 +234,15 @@ commands:
   sensitivity     re-check claims under perturbed calibration (-eps, -trials)
   replay <trace>  time a workload trace (builtin name or file) on every system
   latency         lmbench-style latency probes for every system
-  trace           annotated kernel timeline of one token-ring lap per system
+  trace [ids|all] bare: annotated kernel timeline of one token-ring lap per
+                  system (-procs sets the ring size). With experiment ids:
+                  run the observability probes and export their span
+                  streams — -format=chrome (default) writes Chrome
+                  trace-event JSON to stdout for Perfetto or
+                  chrome://tracing, -format=text a per-run summary
+  metrics <ids|all>  per-phase cycle-attribution tables for the probes:
+                  where each run's modelled time went (phases sum to the
+                  total); -procs sets the F1 process count
   profiles        dump the built-in OS personalities as JSON (a template
                   for -profiles)
   notes           the paper's §11 installation/porting observations
@@ -466,22 +480,77 @@ func (a *App) latency(cfg core.Config) {
 	fmt.Fprintln(a.Stdout, "Cross-check: §5 reports the Solaris self-pipe round trip at 80 µs.")
 }
 
-// trace prints an annotated kernel timeline of a short token-ring run on
-// each system — §5's cost decomposition, visible event by event.
-func (a *App) trace(cfg core.Config) {
+// trace without a selector prints the annotated kernel timeline of one
+// token-ring lap per system — §5's cost decomposition, visible event by
+// event. With experiment ids it runs the observability probes and
+// exports their span streams: -format=chrome emits Chrome trace-event
+// JSON on stdout (load it in Perfetto or chrome://tracing), -format=text
+// a per-run summary.
+func (a *App) trace(cfg core.Config, runner *core.Runner, ids []string, procs int, format string) int {
+	if len(ids) == 0 {
+		return a.traceTimeline(cfg, procs)
+	}
+	suite, code := a.observeSuite(cfg, runner, ids, core.ObserveOpts{Procs: procs})
+	if suite == nil {
+		return code
+	}
+	switch format {
+	case "chrome":
+		if err := obs.WriteChrome(a.Stdout, suite.Processes); err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 1
+		}
+	case "text":
+		for oi, o := range suite.Observations {
+			if oi > 0 {
+				fmt.Fprintln(a.Stdout)
+			}
+			fmt.Fprintf(a.Stdout, "%s — %s:\n", o.ID, o.Title)
+			for _, run := range o.Runs {
+				spans := 0
+				for _, e := range run.Process.Events {
+					if e.Kind == obs.EvBegin {
+						spans++
+					}
+				}
+				fmt.Fprintf(a.Stdout, "  %-24s %d tracks, %d events (%d spans), total %.2f %s\n",
+					run.Label, len(run.Process.Tracks), len(run.Process.Events),
+					spans, run.Total, run.Unit)
+			}
+		}
+	default:
+		fmt.Fprintf(a.Stderr, "pentiumbench: unknown trace format %q (want chrome or text)\n", format)
+		return 2
+	}
+	return 0
+}
+
+// traceTimeline is the bare `trace` command: one annotated token-ring
+// lap per system, ring size set by -procs (default 3).
+func (a *App) traceTimeline(cfg core.Config, procs int) int {
+	if procs == 0 {
+		procs = 3
+	}
+	if procs < 2 {
+		fmt.Fprintln(a.Stderr, "pentiumbench: trace needs -procs >= 2")
+		return 2
+	}
 	plat := bench.PaperPlatform()
 	for _, p := range cfg.Profiles {
-		fmt.Fprintf(a.Stdout, "%s — one 3-process token-ring lap:\n", p)
+		fmt.Fprintf(a.Stdout, "%s — one %d-process token-ring lap:\n", p, procs)
 		m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(cfg.Seed))
-		m.EnableTrace(256)
-		pipes := []*kernel.Pipe{m.NewPipe(), m.NewPipe(), m.NewPipe()}
-		for i := 0; i < 3; i++ {
+		m.EnableTrace(64 * procs)
+		pipes := make([]*kernel.Pipe, procs)
+		for i := range pipes {
+			pipes[i] = m.NewPipe()
+		}
+		for i := 0; i < procs; i++ {
 			i := i
 			m.Spawn(fmt.Sprintf("ring%d", i), func(pr *kernel.Proc) {
 				if i != 0 {
 					pr.ReadFull(pipes[i], 1)
 				}
-				pr.Write(pipes[(i+1)%3], 1)
+				pr.Write(pipes[(i+1)%procs], 1)
 				if i == 0 {
 					pr.ReadFull(pipes[0], 1)
 				}
@@ -494,6 +563,67 @@ func (a *App) trace(cfg core.Config) {
 		fmt.Fprintf(a.Stdout, "  total %v across %d switches\n\n",
 			m.Now().Sub(0).Std(), m.Switches())
 	}
+	return 0
+}
+
+// observeSuite resolves the id list ("all" → every probe) and runs the
+// observability probes on the pool. A nil suite means the int is the
+// exit code.
+func (a *App) observeSuite(cfg core.Config, runner *core.Runner, ids []string,
+	opts core.ObserveOpts) (*core.SuiteObservation, int) {
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = core.ObservableIDs()
+	}
+	suite, err := runner.Observe(cfg, ids, opts)
+	if err != nil {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+		return nil, 2
+	}
+	return suite, 0
+}
+
+// metrics prints per-phase cycle-attribution tables for the given
+// experiments: where the modelled time of each run went, one column per
+// phase. The columns sum to the total, by construction of the phase
+// ledgers.
+func (a *App) metrics(cfg core.Config, runner *core.Runner, ids []string, opts core.ObserveOpts) int {
+	if len(ids) == 0 {
+		fmt.Fprintf(a.Stderr, "pentiumbench: metrics needs experiment ids or 'all' (observable: %v)\n",
+			core.ObservableIDs())
+		return 2
+	}
+	suite, code := a.observeSuite(cfg, runner, ids, opts)
+	if suite == nil {
+		return code
+	}
+	for oi, o := range suite.Observations {
+		if oi > 0 {
+			fmt.Fprintln(a.Stdout)
+		}
+		if len(o.Runs) == 0 {
+			continue
+		}
+		fmt.Fprintf(a.Stdout, "%s — %s: per-phase attribution (%s)\n", o.ID, o.Title, o.Runs[0].Unit)
+		head := o.Runs[0].Rows
+		fmt.Fprintf(a.Stdout, "  %-24s", "system")
+		for _, r := range head {
+			fmt.Fprintf(a.Stdout, " %11s", r.Name)
+		}
+		fmt.Fprintf(a.Stdout, " %13s\n", "total")
+		for _, run := range o.Runs {
+			// Look rows up by name so every run prints in header order.
+			vals := make(map[string]float64, len(run.Rows))
+			for _, r := range run.Rows {
+				vals[r.Name] = r.Value
+			}
+			fmt.Fprintf(a.Stdout, "  %-24s", run.Label)
+			for _, h := range head {
+				fmt.Fprintf(a.Stdout, " %11.2f", vals[h.Name])
+			}
+			fmt.Fprintf(a.Stdout, " %13.2f\n", run.Total)
+		}
+	}
+	return 0
 }
 
 func mb(n int64) string {

@@ -2,9 +2,11 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -442,5 +444,154 @@ func TestProfileFileCreateError(t *testing.T) {
 		if !strings.Contains(errb.String(), "disk full") {
 			t.Fatalf("%s: error not reported: %s", flag, errb.String())
 		}
+	}
+}
+
+func TestMetricsCommandPhaseSums(t *testing.T) {
+	// The acceptance criterion: `pentiumbench metrics F1` prints a
+	// per-phase table whose phase columns sum to the reported total
+	// within float tolerance.
+	a, out, errb, _ := testApp()
+	if code := a.Execute([]string{"metrics", "F1"}); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "per-phase attribution (µs)") {
+		t.Fatalf("missing table header:\n%s", text)
+	}
+	rows := 0
+	cols := 0
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		// The header row fixes the table width; data rows carry exactly
+		// that many trailing numeric columns after the system label
+		// (which can itself contain version numbers like "Solaris 2.4").
+		if len(fields) > 1 && fields[0] == "system" {
+			cols = len(fields) - 1
+			continue
+		}
+		if cols < 2 || len(fields) <= cols {
+			continue
+		}
+		nums := make([]float64, 0, cols)
+		bad := false
+		for _, f := range fields[len(fields)-cols:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			nums = append(nums, v)
+		}
+		if bad {
+			continue
+		}
+		total := nums[len(nums)-1]
+		var sum float64
+		for _, v := range nums[:len(nums)-1] {
+			sum += v
+		}
+		if diff := sum - total; diff > 1e-6*total || diff < -1e-6*total {
+			t.Errorf("row %q: phases sum %.4f != total %.4f", line, sum, total)
+		}
+		rows++
+	}
+	if rows < 3 {
+		t.Fatalf("expected a row per system, found %d:\n%s", rows, text)
+	}
+}
+
+func TestMetricsNeedsIDs(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"metrics"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "observable") {
+		t.Fatalf("error should list observable ids: %s", errb.String())
+	}
+}
+
+func TestMetricsUnknownID(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"metrics", "F99"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "F99") {
+		t.Fatalf("error should name the id: %s", errb.String())
+	}
+}
+
+func TestTraceChromeExport(t *testing.T) {
+	a, out, errb, _ := testApp()
+	if code := a.Execute([]string{"trace", "F12"}); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome export is empty")
+	}
+	kinds := map[string]bool{}
+	for _, e := range events {
+		ph, _ := e["ph"].(string)
+		kinds[ph] = true
+	}
+	for _, want := range []string{"M", "B", "E"} {
+		if !kinds[want] {
+			t.Errorf("chrome export missing %q events", want)
+		}
+	}
+}
+
+func TestTraceExportIdenticalAcrossWorkers(t *testing.T) {
+	serial, sOut, _, _ := testApp()
+	if code := serial.Execute([]string{"-j", "1", "trace", "F12", "F13"}); code != 0 {
+		t.Fatal("serial trace failed")
+	}
+	par, pOut, _, _ := testApp()
+	if code := par.Execute([]string{"-j", "8", "trace", "F12", "F13"}); code != 0 {
+		t.Fatal("parallel trace failed")
+	}
+	if !bytes.Equal(sOut.Bytes(), pOut.Bytes()) {
+		t.Fatal("-j 8 chrome trace differs from -j 1")
+	}
+}
+
+func TestTraceTextFormat(t *testing.T) {
+	a, out, errb, _ := testApp()
+	if code := a.Execute([]string{"trace", "F12", "-format", "text"}); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "spans") || !strings.Contains(out.String(), "tracks") {
+		t.Fatalf("text format missing span summary:\n%s", out.String())
+	}
+}
+
+func TestTraceBadFormat(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"trace", "F12", "-format", "yaml"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "yaml") {
+		t.Fatalf("error should name the format: %s", errb.String())
+	}
+}
+
+func TestTraceProcsFlag(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"trace", "-procs", "4"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "one 4-process token-ring lap") {
+		t.Fatalf("-procs did not change the ring size:\n%s", out.String())
+	}
+	b, _, errb, _ := testApp()
+	if code := b.Execute([]string{"trace", "-procs", "1"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-procs") {
+		t.Fatalf("error should mention -procs: %s", errb.String())
 	}
 }

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+	"repro/internal/osprofile"
+)
+
+// PhaseRow is one attribution row of a metrics table: a named phase and
+// the time (or cycles) it consumed.
+type PhaseRow struct {
+	Name  string
+	Value float64
+}
+
+// ObservedRun is one observed model run of an experiment probe: one OS
+// personality (or the hardware curve), its cycle-attribution rows, the
+// captured trace and the full metric snapshot.
+type ObservedRun struct {
+	// Label identifies the run (an OS personality, or the hardware).
+	Label string
+	// Unit is the unit of Rows and Total ("µs" or "cycles").
+	Unit string
+	// Rows decompose Total by phase; they sum to Total within float
+	// re-association tolerance (exactly, for integer-duration ledgers).
+	Rows []PhaseRow
+	// Total is the run's total simulated time or cycles.
+	Total float64
+	// Process is the captured trace for Chrome export.
+	Process obs.Process
+	// Metrics is the run's full metric snapshot.
+	Metrics obs.Snapshot
+}
+
+// Observation is the observability product of one experiment probe.
+type Observation struct {
+	ID    string
+	Title string
+	Runs  []ObservedRun
+}
+
+// ObserveOpts tune the probes. The zero value selects defaults.
+type ObserveOpts struct {
+	// Procs is the ctx process count for the F1 probe (default 8).
+	Procs int
+	// FileBytes is the crtdel file size for the F12 probe (default 64 KB).
+	FileBytes int64
+	// PacketSize is the datagram size for the F13 probe (default 1024).
+	PacketSize int
+}
+
+func (o ObserveOpts) withDefaults() ObserveOpts {
+	if o.Procs <= 0 {
+		o.Procs = 8
+	}
+	if o.FileBytes <= 0 {
+		o.FileBytes = 64 << 10
+	}
+	if o.PacketSize <= 0 {
+		o.PacketSize = 1024
+	}
+	return o
+}
+
+// memRoutines maps the §6 figure IDs to their routines.
+var memRoutines = map[string]memmodel.Routine{
+	"F2": memmodel.CustomRead,
+	"F3": memmodel.Memset,
+	"F4": memmodel.NaiveWrite,
+	"F5": memmodel.PrefetchWrite,
+	"F6": memmodel.LibcMemcpy,
+	"F7": memmodel.NaiveCopy,
+	"F8": memmodel.PrefetchCopy,
+}
+
+// ObservableIDs returns the experiment IDs Observe has probes for, in
+// presentation order.
+func ObservableIDs() []string {
+	ids := []string{"T2", "T4", "T5", "F1", "F12", "F13"}
+	for id := range memRoutines {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return rank(ids[i]) < rank(ids[j]) })
+	return ids
+}
+
+// rows extracts attribution rows from a snapshot: the counters carrying
+// the given prefix and suffix, with both trimmed from the row name.
+func rows(snap obs.Snapshot, prefix, suffix string) []PhaseRow {
+	var out []PhaseRow
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, prefix) && strings.HasSuffix(c.Name, suffix) {
+			name := strings.TrimSuffix(strings.TrimPrefix(c.Name, prefix), suffix)
+			out = append(out, PhaseRow{Name: name, Value: c.Value})
+		}
+	}
+	return out
+}
+
+// benchRun adapts a bench.Observation into an ObservedRun with µs rows
+// drawn from the snapshot counters matching prefix+...+suffix.
+func benchRun(label string, o bench.Observation, prefix, suffix string) ObservedRun {
+	return ObservedRun{
+		Label:   label,
+		Unit:    "µs",
+		Rows:    rows(o.Metrics, prefix, suffix),
+		Total:   o.Total.Microseconds(),
+		Process: o.Process,
+		Metrics: o.Metrics,
+	}
+}
+
+// Observe runs the observability probe for one experiment: the same model
+// workload the experiment measures, instrumented with spans and metrics.
+// Every probe is deterministic — virtual time stamps, fixed seeds — so
+// its output is bit-identical across runs and worker counts.
+func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
+	opts = opts.withDefaults()
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		profiles = osprofile.Paper()
+	}
+	plat := bench.PaperPlatform()
+	title := id
+	if e, ok := Lookup(id); ok {
+		title = e.Title
+	}
+	out := &Observation{ID: id, Title: title}
+
+	if r, ok := memRoutines[id]; ok {
+		const size = 1 << 20
+		m := memmodel.NewModel(plat.CPU, cache.PentiumConfig())
+		pt := m.ObservedBandwidth(r, size)
+		reg := obs.NewRegistry()
+		pt.Stats.FoldStats(reg, "cache.")
+		reg.Counter("mem.mbs").Add(pt.MBs)
+		reg.Counter("mem.overlap_cycles").Add(pt.Overlap)
+		b := pt.Breakdown
+		out.Runs = append(out.Runs, ObservedRun{
+			Label: "Pentium P54C-100",
+			Unit:  "cycles",
+			Rows: []PhaseRow{
+				{Name: "l1", Value: b.L1},
+				{Name: "l2", Value: b.L2},
+				{Name: "mem", Value: b.Mem},
+				{Name: "writeback", Value: b.WriteBack},
+				{Name: "overhead", Value: b.Overhead},
+			},
+			Total:   pt.SimCycles,
+			Process: obs.Process{Name: "Pentium P54C-100"},
+			Metrics: reg.Snapshot(),
+		})
+		return out, nil
+	}
+
+	switch id {
+	case "T2":
+		for _, p := range profiles {
+			_, o := bench.GetpidObserved(plat, p)
+			out.Runs = append(out.Runs, benchRun(p.String(), o, "kernel.phase_us.", ""))
+		}
+	case "F1":
+		for _, p := range profiles {
+			_, o := bench.CtxObserved(plat, p, opts.Procs, bench.CtxRing)
+			out.Runs = append(out.Runs, benchRun(p.String(), o, "kernel.phase_us.", ""))
+		}
+	case "T4":
+		for _, p := range profiles {
+			_, o := bench.BwPipeObserved(plat, p)
+			out.Runs = append(out.Runs, benchRun(p.String(), o, "kernel.phase_us.", ""))
+		}
+	case "T5":
+		for _, p := range profiles {
+			_, o := bench.BwTCPObserved(p, 0)
+			out.Runs = append(out.Runs, benchRun(p.String(), o, "tcp.", "_us"))
+		}
+	case "F12":
+		for _, p := range profiles {
+			_, o := bench.CrtdelObserved(plat, p, opts.FileBytes, cfg.Seed)
+			out.Runs = append(out.Runs, benchRun(p.String(), o, "fs.phase_us.", ""))
+		}
+	case "F13":
+		for _, p := range profiles {
+			_, o := bench.TTCPObserved(p, opts.PacketSize)
+			out.Runs = append(out.Runs, benchRun(p.String(), o, "udp.", "_us"))
+		}
+	default:
+		return nil, fmt.Errorf("core: no observability probe for %q (have %v)", id, ObservableIDs())
+	}
+	return out, nil
+}
+
+// FoldMetrics adds the run's statistics — pool shape, job counts, memo
+// effectiveness, wall-clock times and worker utilization — to a registry
+// under the given prefix. These are the runner's self-observability
+// gauges; they carry real wall-clock time and therefore vary run to run,
+// which is why determinism checks strip the prefix.
+func (st *RunStats) FoldMetrics(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix + "workers").Add(float64(st.Workers))
+	reg.Counter(prefix + "jobs").Add(float64(st.Jobs))
+	reg.Counter(prefix + "inner_jobs").Add(float64(st.InnerJobs))
+	reg.Counter(prefix + "memo_hits").Add(float64(st.MemoHits))
+	reg.Counter(prefix + "memo_misses").Add(float64(st.MemoMisses))
+	reg.Counter(prefix + "wall_us").Add(float64(st.Wall.Microseconds()))
+	d := reg.Distribution(prefix + "experiment_wall_us")
+	var busy time.Duration
+	for _, e := range st.Experiments {
+		d.Observe(float64(e.Wall.Microseconds()))
+		busy += e.Wall
+	}
+	if st.Wall > 0 && st.Workers > 0 {
+		util := float64(busy) / (float64(st.Wall) * float64(st.Workers))
+		reg.Counter(prefix + "worker_utilization_pct").Add(100 * util)
+	}
+}
+
+// SuiteObservation is the product of Runner.Observe: per-experiment
+// observations, all trace processes in deterministic order, and one
+// merged metric snapshot. Everything except the "runner." self-metrics
+// (real wall-clock, inherently nondeterministic) is bit-identical at
+// every worker count; strip them with Metrics.ExcludePrefix("runner.")
+// when comparing.
+type SuiteObservation struct {
+	Observations []*Observation
+	Processes    []obs.Process
+	Metrics      obs.Snapshot
+}
+
+// Observe runs the probes for the given experiment IDs on the worker
+// pool. Each probe runs with its own recorder and registry; the results
+// are merged in input order — task order, never completion order — which
+// is what makes the output independent of the worker count.
+func (r *Runner) Observe(cfg Config, ids []string, opts ObserveOpts) (*SuiteObservation, error) {
+	w := r.workers()
+	obsv := make([]*Observation, len(ids))
+	errs := make([]error, len(ids))
+	timings := make([]ExperimentTiming, len(ids))
+	start := time.Now()
+	runOne := func(i int) {
+		t0 := time.Now()
+		obsv[i], errs[i] = Observe(cfg, ids[i], opts)
+		timings[i] = ExperimentTiming{ID: ids[i], Wall: time.Since(t0)}
+	}
+	if w <= 1 {
+		for i := range ids {
+			runOne(i)
+		}
+	} else {
+		pool := newWorkPool(w)
+		var wg sync.WaitGroup
+		for i := range ids {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pool.acquire()
+				defer pool.release()
+				runOne(i)
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("observe %s: %w", ids[i], err)
+		}
+	}
+
+	suite := &SuiteObservation{Observations: obsv}
+	var parts []obs.Snapshot
+	for _, o := range obsv {
+		for _, run := range o.Runs {
+			parts = append(parts, run.Metrics)
+			suite.Processes = append(suite.Processes, run.Process)
+		}
+	}
+	merged := obs.MergeSnapshots(parts...)
+
+	// Runner self-observability: real wall-clock task timings and worker
+	// utilization, kept under "runner." so determinism comparisons can
+	// exclude them.
+	st := &RunStats{Workers: w, Jobs: len(ids), Wall: time.Since(start), Experiments: timings}
+	reg := obs.NewRegistry()
+	st.FoldMetrics(reg, "runner.")
+	suite.Metrics = obs.MergeSnapshots(merged, reg.Snapshot())
+	return suite, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sumsToTotal checks the acceptance criterion for metrics tables: the
+// phase rows sum to the reported total within float tolerance.
+func sumsToTotal(t *testing.T, run ObservedRun) {
+	t.Helper()
+	var sum float64
+	for _, r := range run.Rows {
+		sum += r.Value
+	}
+	tol := 1e-9 * math.Max(1, math.Abs(run.Total))
+	if math.Abs(sum-run.Total) > tol {
+		t.Errorf("%s: rows sum %.9g != total %.9g (%s)", run.Label, sum, run.Total, run.Unit)
+	}
+}
+
+func TestObserveProbesAttribution(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, id := range ObservableIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			o, err := Observe(cfg, id, ObserveOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.ID != id || len(o.Runs) == 0 {
+				t.Fatalf("observation %q has %d runs", o.ID, len(o.Runs))
+			}
+			for _, run := range o.Runs {
+				if run.Unit == "" || len(run.Rows) == 0 {
+					t.Fatalf("%s: empty unit or rows", run.Label)
+				}
+				if run.Total <= 0 {
+					t.Fatalf("%s: non-positive total %g", run.Label, run.Total)
+				}
+				sumsToTotal(t, run)
+			}
+		})
+	}
+}
+
+func TestObserveUnknownID(t *testing.T) {
+	if _, err := Observe(DefaultConfig(), "F99", ObserveOpts{}); err == nil {
+		t.Fatal("expected error for unknown probe id")
+	}
+	if _, err := Observe(DefaultConfig(), "", ObserveOpts{}); err == nil {
+		t.Fatal("expected error for empty probe id")
+	}
+}
+
+func TestObserveTitleFromRegistry(t *testing.T) {
+	o, err := Observe(DefaultConfig(), "F12", ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Title == "" || o.Title == "F12" {
+		t.Fatalf("expected registry title for F12, got %q", o.Title)
+	}
+}
+
+// chromeBytes renders a suite's trace processes to Chrome trace-event
+// JSON, as the CLI does.
+func chromeBytes(t *testing.T, s *SuiteObservation) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteChrome(&buf, s.Processes); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestObserveDeterminismAcrossWorkers is the regression test for the
+// suite's central determinism guarantee: span streams and metric
+// snapshots are bit-identical between -j 1 and -j 8. Runs under -race in
+// `make check` via the race target.
+func TestObserveDeterminismAcrossWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	ids := ObservableIDs()
+	s1, err := NewRunner(1).Observe(cfg, ids, ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := NewRunner(8).Observe(cfg, ids, ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1 := s1.Metrics.ExcludePrefix("runner.")
+	m8 := s8.Metrics.ExcludePrefix("runner.")
+	if !m1.Equal(m8) {
+		t.Fatalf("metric snapshots differ between -j 1 and -j 8:\n-j1:\n%s\n-j8:\n%s", m1, m8)
+	}
+
+	b1 := chromeBytes(t, s1)
+	b8 := chromeBytes(t, s8)
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("chrome trace bytes differ between -j 1 and -j 8")
+	}
+	if !bytes.HasPrefix(b1, []byte("[")) || len(b1) < 2 {
+		t.Fatalf("chrome export does not look like a JSON array: %.40q", b1)
+	}
+}
+
+func TestSuiteObservationShape(t *testing.T) {
+	ids := []string{"T2", "F12"}
+	s, err := NewRunner(2).Observe(DefaultConfig(), ids, ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Observations) != len(ids) {
+		t.Fatalf("got %d observations, want %d", len(s.Observations), len(ids))
+	}
+	var wantProcs int
+	for _, o := range s.Observations {
+		wantProcs += len(o.Runs)
+	}
+	if len(s.Processes) != wantProcs {
+		t.Fatalf("got %d processes, want %d", len(s.Processes), wantProcs)
+	}
+	// Processes follow input order: T2's runs before F12's.
+	if s.Observations[0].ID != "T2" || s.Observations[1].ID != "F12" {
+		t.Fatalf("observation order not input order: %s, %s",
+			s.Observations[0].ID, s.Observations[1].ID)
+	}
+	if _, ok := s.Metrics.Get("runner.jobs"); !ok {
+		t.Fatal("suite metrics missing runner.jobs self-metric")
+	}
+	if v, ok := s.Metrics.Get("runner.workers"); !ok || v != 2 {
+		t.Fatalf("runner.workers = %v, %v; want 2, true", v, ok)
+	}
+	// Kernel and fs attribution from the probes must have been merged in.
+	for _, name := range []string{"kernel.phase_us.syscall", "fs.phase_us.vfs"} {
+		if _, ok := s.Metrics.Get(name); !ok {
+			t.Errorf("suite metrics missing %s", name)
+		}
+	}
+}
+
+func TestObserveErrorPropagates(t *testing.T) {
+	_, err := NewRunner(4).Observe(DefaultConfig(), []string{"T2", "nope"}, ObserveOpts{})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("expected error naming the bad id, got %v", err)
+	}
+}
+
+func TestRunStatsFoldMetrics(t *testing.T) {
+	st := &RunStats{
+		Workers:    4,
+		Jobs:       3,
+		InnerJobs:  7,
+		MemoHits:   10,
+		MemoMisses: 5,
+		Wall:       2 * time.Millisecond,
+		Experiments: []ExperimentTiming{
+			{ID: "a", Wall: time.Millisecond},
+			{ID: "b", Wall: time.Millisecond},
+			{ID: "c", Wall: 2 * time.Millisecond},
+		},
+	}
+	reg := obs.NewRegistry()
+	st.FoldMetrics(reg, "runner.")
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"runner.workers":     4,
+		"runner.jobs":        3,
+		"runner.inner_jobs":  7,
+		"runner.memo_hits":   10,
+		"runner.memo_misses": 5,
+		"runner.wall_us":     2000,
+		// busy 4ms over 4 workers × 2ms wall = 50%.
+		"runner.worker_utilization_pct": 50,
+	} {
+		if v, ok := snap.Get(name); !ok || math.Abs(v-want) > 1e-9 {
+			t.Errorf("%s = %v, %v; want %v", name, v, ok, want)
+		}
+	}
+}

@@ -81,6 +81,7 @@ type Stats struct {
 	SeekTime        sim.Duration
 	RotationTime    sim.Duration
 	TransferTime    sim.Duration
+	Seeks           uint64 // operations that moved the arm (non-sequential)
 	SequentialHits  uint64 // operations that continued the previous access
 	TotalOperations uint64
 }
@@ -183,6 +184,7 @@ func (d *Disk) Access(block int64, nbytes int, write bool) sim.Duration {
 	} else {
 		seek := d.seekTime(d.headCyl, cyl)
 		rot := sim.Duration(d.rng.Int63n(int64(d.rotation())))
+		d.stats.Seeks++
 		d.stats.SeekTime += seek
 		d.stats.RotationTime += rot
 		t += seek + rot

@@ -1,0 +1,19 @@
+package disk
+
+import "repro/internal/obs"
+
+// FoldMetrics adds the traffic counters into a registry under the given
+// prefix (e.g. "disk."). Times are folded in microseconds so the metric
+// tables and Chrome traces share one unit.
+func (s Stats) FoldMetrics(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix + "reads").Add(float64(s.Reads))
+	reg.Counter(prefix + "writes").Add(float64(s.Writes))
+	reg.Counter(prefix + "bytes_read").Add(float64(s.BytesRead))
+	reg.Counter(prefix + "bytes_written").Add(float64(s.BytesWritten))
+	reg.Counter(prefix + "seeks").Add(float64(s.Seeks))
+	reg.Counter(prefix + "sequential_hits").Add(float64(s.SequentialHits))
+	reg.Counter(prefix + "total_operations").Add(float64(s.TotalOperations))
+	reg.Counter(prefix + "seek_us").Add(s.SeekTime.Microseconds())
+	reg.Counter(prefix + "rotation_us").Add(s.RotationTime.Microseconds())
+	reg.Counter(prefix + "transfer_us").Add(s.TransferTime.Microseconds())
+}

@@ -1,0 +1,59 @@
+package disk
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Seeks counts arm movements: random accesses seek, a streaming
+// continuation does not.
+func TestSeekCounter(t *testing.T) {
+	d := New(HP3725(), sim.NewRNG(1))
+	d.Access(1000, BlockSize, false)
+	d.Access(200000, BlockSize, false)
+	if got := d.Stats().Seeks; got != 2 {
+		t.Fatalf("Seeks = %d after two random accesses, want 2", got)
+	}
+	// Continue the second access sequentially: no new seek.
+	d.Access(200001, BlockSize, false)
+	st := d.Stats()
+	if st.Seeks != 2 {
+		t.Fatalf("sequential continuation counted a seek: %d", st.Seeks)
+	}
+	if st.SequentialHits != 1 {
+		t.Fatalf("SequentialHits = %d, want 1", st.SequentialHits)
+	}
+}
+
+// FoldMetrics lands every counter under the prefix, with times in
+// microseconds.
+func TestDiskFoldMetrics(t *testing.T) {
+	d := New(QuantumEmpire2100(), sim.NewRNG(2))
+	d.Access(10, BlockSize, true)
+	d.Access(90000, BlockSize, false)
+	d.StreamTransferTime(BlockSize)
+
+	reg := obs.NewRegistry()
+	d.Stats().FoldMetrics(reg, "disk.")
+	snap := reg.Snapshot()
+	st := d.Stats()
+	checks := map[string]float64{
+		"disk.reads":            float64(st.Reads),
+		"disk.writes":           float64(st.Writes),
+		"disk.seeks":            float64(st.Seeks),
+		"disk.total_operations": float64(st.TotalOperations),
+		"disk.seek_us":          st.SeekTime.Microseconds(),
+		"disk.rotation_us":      st.RotationTime.Microseconds(),
+		"disk.transfer_us":      st.TransferTime.Microseconds(),
+	}
+	for name, want := range checks {
+		if got, ok := snap.Get(name); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	if v, _ := snap.Get("disk.seeks"); v != 2 {
+		t.Errorf("disk.seeks = %v, want 2", v)
+	}
+}

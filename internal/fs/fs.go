@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
 )
@@ -78,6 +79,15 @@ type FileSystem struct {
 	attrCache    map[string]bool
 	stats        Stats
 	partitionLen int64
+
+	// phases attributes every charged duration to a Phase (see obs.go);
+	// the entries always sum to the total time charged since Remake.
+	phases [NumPhases]sim.Duration
+
+	// rec, when non-nil, receives operation and disk-level spans.
+	rec       *obs.Recorder
+	fsTrack   obs.TrackID
+	diskTrack obs.TrackID
 }
 
 // New mounts a fresh file system for the given OS personality on the disk.
@@ -112,6 +122,7 @@ func (f *FileSystem) Remake() {
 	f.metaAlt = 0
 	f.attrCache = make(map[string]bool)
 	f.stats = Stats{}
+	f.phases = [NumPhases]sim.Duration{}
 }
 
 // SetCacheBudget overrides the buffer cache capacity — for example with
@@ -134,17 +145,23 @@ func (f *FileSystem) Stats() Stats { return f.stats }
 // Cache exposes the buffer cache for inspection.
 func (f *FileSystem) Cache() *BufferCache { return f.cache }
 
-// charge advances the shared clock.
-func (f *FileSystem) charge(d sim.Duration) { f.clock.Advance(d) }
+// Disk exposes the underlying disk (for metric folds and inspection).
+func (f *FileSystem) Disk() *disk.Disk { return f.d }
+
+// charge advances the shared clock, attributing the time to a phase.
+func (f *FileSystem) charge(ph Phase, d sim.Duration) {
+	f.clock.Advance(d)
+	f.phases[ph] += d
+}
 
 // syscall charges the base system-call plus fixed per-op cost.
 func (f *FileSystem) syscall() {
-	f.charge(f.os.Kernel.Syscall + f.os.FS.OpFixed)
+	f.charge(PhaseVFS, f.os.Kernel.Syscall+f.os.FS.OpFixed)
 }
 
-// perKB charges a per-KB cost for n bytes.
+// perKB charges a per-KB copy cost for n bytes.
 func (f *FileSystem) perKB(rate sim.Duration, n int64) {
-	f.charge(sim.Duration(int64(rate) * n / 1024))
+	f.charge(PhaseCopy, sim.Duration(int64(rate)*n/1024))
 }
 
 // lookup walks the path. Paths are slash-separated and absolute within
@@ -221,7 +238,7 @@ func (f *FileSystem) syncMetaWrites(n int, groupBase int64, far bool) {
 			target = f.d.Blocks() - 1
 		}
 		f.metaAlt++
-		f.charge(f.d.Access(target, f.os.FS.MetaWriteBytes, true))
+		f.chargeSpan(f.diskTrack, "meta-write", PhaseMetaSync, f.d.Access(target, f.os.FS.MetaWriteBytes, true))
 		f.stats.SyncMetaWrites++
 	}
 }
@@ -251,12 +268,15 @@ func (f *FileSystem) metaUpdate(n int, dir *inode, far bool) {
 	case osprofile.MetaOrderedAsync:
 		// Deferred writes with ordering bookkeeping: small CPU cost per
 		// deferred update.
-		f.charge(sim.Duration(n) * 30 * sim.Microsecond)
+		f.charge(PhaseMetaSync, sim.Duration(n)*30*sim.Microsecond)
 	}
 }
 
 // Mkdir creates a directory.
 func (f *FileSystem) Mkdir(path string) error {
+	if done := f.opSpan("mkdir"); done != nil {
+		defer done()
+	}
 	f.syscall()
 	parent, name, err := f.lookupParent(path)
 	if err != nil {
@@ -280,6 +300,9 @@ func (f *FileSystem) newIno() int64 {
 
 // Create creates (or truncates) a file and opens it.
 func (f *FileSystem) Create(path string) (*File, error) {
+	if done := f.opSpan("create"); done != nil {
+		defer done()
+	}
 	f.syscall()
 	parent, name, err := f.lookupParent(path)
 	if err != nil {
@@ -319,6 +342,9 @@ func (f *FileSystem) Open(path string) (*File, error) {
 
 // Unlink removes a file, invalidating its cached blocks.
 func (f *FileSystem) Unlink(path string) error {
+	if done := f.opSpan("unlink"); done != nil {
+		defer done()
+	}
 	f.syscall()
 	parent, name, err := f.lookupParent(path)
 	if err != nil {
@@ -352,6 +378,9 @@ func (f *FileSystem) freeBlocks(n *inode) {
 // as expensive as that pair on the FFS systems, which is why 1995
 // editors' save-via-rename felt the same as crtdel.
 func (f *FileSystem) Rename(oldPath, newPath string) error {
+	if done := f.opSpan("rename"); done != nil {
+		defer done()
+	}
 	f.syscall()
 	oldParent, oldName, err := f.lookupParent(oldPath)
 	if err != nil {
@@ -393,9 +422,12 @@ type StatInfo struct {
 // attribute cache (FreeBSD, §8.1), a hit costs almost nothing; otherwise
 // the inode must be consulted through the normal paths.
 func (f *FileSystem) Stat(path string) (StatInfo, error) {
+	if done := f.opSpan("stat"); done != nil {
+		defer done()
+	}
 	f.stats.Stats++
 	if f.os.FS.AttrCache && f.attrCache[path] {
-		f.charge(f.os.Kernel.Syscall + 20*sim.Microsecond)
+		f.charge(PhaseVFS, f.os.Kernel.Syscall+20*sim.Microsecond)
 	} else {
 		f.syscall()
 		// Consulting the inode copies a fraction of a block's worth of
@@ -434,7 +466,7 @@ func (f *FileSystem) List(path string) ([]string, error) {
 
 // Close closes the file.
 func (fl *File) Close() {
-	fl.fs.charge(fl.fs.os.Kernel.Syscall)
+	fl.fs.charge(PhaseVFS, fl.fs.os.Kernel.Syscall)
 	fl.fs.stats.Closes++
 	fl.closed = true
 }
@@ -449,7 +481,7 @@ func (fl *File) Path() string { return fl.path }
 // io.Seeker signature, which this simulated descriptor deliberately does
 // not implement.
 func (fl *File) SeekTo(offset int64) {
-	fl.fs.charge(fl.fs.os.Kernel.Syscall)
+	fl.fs.charge(PhaseVFS, fl.fs.os.Kernel.Syscall)
 	fl.offset = offset
 }
 
@@ -478,11 +510,14 @@ func (fl *File) writeAt(off, n int64, random bool) {
 		panic("fs: write of non-positive length")
 	}
 	f := fl.fs
+	if done := f.opSpan("write"); done != nil {
+		defer done()
+	}
 	k := &f.os.Kernel
 	fsc := &f.os.FS
-	f.charge(k.Syscall + k.ReadWriteExtra)
+	f.charge(PhaseVFS, k.Syscall+k.ReadWriteExtra)
 	if random {
-		f.charge(fsc.RandomIOOverhead)
+		f.charge(PhaseVFS, fsc.RandomIOOverhead)
 	}
 	f.perKB(fsc.WritePerKB, n)
 	f.stats.WriteCalls++
@@ -504,7 +539,7 @@ func (fl *File) writeAt(off, n int64, random bool) {
 	if allocated {
 		// Block allocation (bitmap search, block-map locking) is paid
 		// once per allocating write call; rewrites in place skip it.
-		f.charge(fsc.AllocPerCall)
+		f.charge(PhaseAlloc, fsc.AllocPerCall)
 	}
 	if end > fl.node.size {
 		fl.node.size = end
@@ -542,7 +577,7 @@ func (fl *File) blockFor(i int64) (blk int64, allocated bool) {
 func (f *FileSystem) flushBlock(blk int64) {
 	_ = blk
 	t := f.d.StreamTransferTime(BlockSize)
-	f.charge(sim.Duration(float64(t) / f.os.FS.SeqWriteEff))
+	f.chargeSpan(f.diskTrack, "flush", PhaseWriteBack, sim.Duration(float64(t)/f.os.FS.SeqWriteEff))
 	f.stats.DataDiskWrites++
 }
 
@@ -569,11 +604,14 @@ func (fl *File) readAt(off, n int64, random bool) int64 {
 		panic("fs: read of non-positive length")
 	}
 	f := fl.fs
+	if done := f.opSpan("read"); done != nil {
+		defer done()
+	}
 	k := &f.os.Kernel
 	fsc := &f.os.FS
-	f.charge(k.Syscall + k.ReadWriteExtra)
+	f.charge(PhaseVFS, k.Syscall+k.ReadWriteExtra)
 	if random {
-		f.charge(fsc.RandomIOOverhead)
+		f.charge(PhaseVFS, fsc.RandomIOOverhead)
 	}
 	if off >= fl.node.size {
 		return 0
@@ -595,13 +633,12 @@ func (fl *File) readAt(off, n int64, random bool) int64 {
 			continue
 		}
 		t := f.d.Access(blk, BlockSize, false)
-		if random {
-			f.charge(t)
-		} else {
+		if !random {
 			// Sequential misses run at the personality's read-ahead
 			// efficiency.
-			f.charge(sim.Duration(float64(t) / fsc.SeqReadEff))
+			t = sim.Duration(float64(t) / fsc.SeqReadEff)
 		}
+		f.chargeSpan(f.diskTrack, "disk-read", PhaseDiskRead, t)
 		f.stats.DataDiskReads++
 		for _, victim := range f.cache.Insert(blk, false) {
 			f.flushBlock(victim)
@@ -616,9 +653,12 @@ func (fl *File) readAt(off, n int64, random bool) int64 {
 // times, indirect blocks). This is what an NFS server that honours the
 // spec's write-through requirement does on every write RPC (§10).
 func (f *FileSystem) CommitFile(fl *File, metaWrites int) {
+	if done := f.opSpan("commit"); done != nil {
+		defer done()
+	}
 	for _, blk := range fl.node.blocks {
 		if f.cache.CleanBlock(blk) {
-			f.charge(f.d.Access(blk, BlockSize, true))
+			f.chargeSpan(f.diskTrack, "commit-write", PhaseWriteBack, f.d.Access(blk, BlockSize, true))
 			f.stats.DataDiskWrites++
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
 )
@@ -456,5 +457,157 @@ func TestTraceLimitBounds(t *testing.T) {
 	m.Run()
 	if got := len(m.TraceEvents()); got > 5 {
 		t.Fatalf("trace kept %d events, limit 5", got)
+	}
+}
+
+func TestTraceRingDropsOldest(t *testing.T) {
+	m := newLinux()
+	m.EnableTrace(5)
+	for i := 0; i < 20; i++ {
+		m.Spawn("w", func(p *Proc) {})
+	}
+	m.Run()
+	events := m.TraceEvents()
+	if len(events) != 5 {
+		t.Fatalf("ring kept %d events, want exactly 5", len(events))
+	}
+	// With 20 spawns then 20 dispatch/exit pairs, the survivors must be
+	// the 5 newest events: the last of them an exit, all in time order,
+	// and none of the early spawn events (which happen at T+0 before any
+	// dispatch cost accrues) still present once later events exist.
+	var last sim.Time
+	for i, e := range events {
+		if e.When < last {
+			t.Fatalf("ring out of time order at %d: %v", i, events)
+		}
+		last = e.When
+	}
+	if events[len(events)-1].Kind != "exit" {
+		t.Errorf("newest surviving event is %q, want exit", events[len(events)-1].Kind)
+	}
+	for _, e := range events {
+		if e.Kind == "spawn" {
+			t.Errorf("oldest events (spawn) not dropped: %v", events)
+		}
+	}
+}
+
+func TestTraceRingDoesNotReallocate(t *testing.T) {
+	m := newLinux()
+	m.EnableTrace(8)
+	pipe := m.NewPipe()
+	m.Spawn("w", func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			p.Write(pipe, 100)
+		}
+	})
+	m.Spawn("r", func(p *Proc) { p.ReadFull(pipe, 20000) })
+	before := cap(m.traceBuf)
+	m.Run()
+	if cap(m.traceBuf) != before {
+		t.Fatalf("ring reallocated: cap %d -> %d", before, cap(m.traceBuf))
+	}
+	if len(m.TraceEvents()) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(m.TraceEvents()))
+	}
+}
+
+// TestPhaseSumsEqualElapsed holds the attribution identity: every clock
+// advance made through the kernel is tagged with a phase, so the ledger
+// sums to exactly the elapsed virtual time.
+func TestPhaseSumsEqualElapsed(t *testing.T) {
+	for _, mk := range []func() *Machine{newLinux, newFreeBSD, newSolaris} {
+		m := mk()
+		pipe := m.NewPipe()
+		m.Spawn("w", func(p *Proc) {
+			p.ChargeFork()
+			p.ChargeExec()
+			p.Charge(5 * sim.Microsecond)
+			for i := 0; i < 20; i++ {
+				p.Write(pipe, 3000)
+			}
+		})
+		m.Spawn("r", func(p *Proc) {
+			p.ReadFull(pipe, 60000)
+			p.Getpid()
+		})
+		m.Run()
+		var sum sim.Duration
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			sum += m.PhaseTime(ph)
+		}
+		if elapsed := m.Now().Sub(0); sum != elapsed {
+			t.Errorf("%s: phase sum %v != elapsed %v (breakdown %v)",
+				m.OS().Name, sum, elapsed, m.PhaseBreakdown())
+		}
+		if m.PhaseTime(PhaseDispatch) == 0 || m.PhaseTime(PhaseCopy) == 0 ||
+			m.PhaseTime(PhaseSyscall) == 0 || m.PhaseTime(PhaseWakeup) == 0 ||
+			m.PhaseTime(PhaseProcess) == 0 || m.PhaseTime(PhaseUser) == 0 {
+			t.Errorf("%s: expected every phase nonzero: %v", m.OS().Name, m.PhaseBreakdown())
+		}
+	}
+}
+
+func TestObserveRecordsSpans(t *testing.T) {
+	m := newLinux()
+	rec := obs.NewRecorder(m.Clock())
+	m.Observe(rec)
+	pipe := m.NewPipe()
+	total := pipe.Capacity() * 2 // overfill so the writer blocks and gets woken
+	m.Spawn("w", func(p *Proc) { p.Write(pipe, total) })
+	m.Spawn("r", func(p *Proc) { p.ReadFull(pipe, total) })
+	m.Run()
+
+	byName := map[string]int{}
+	begins, ends := 0, 0
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case obs.EvBegin:
+			begins++
+			byName[e.Name]++
+		case obs.EvEnd:
+			ends++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("unbalanced spans: %d begins, %d ends", begins, ends)
+	}
+	for _, want := range []string{"dispatch", "syscall", "copy", "wakeup", "run"} {
+		if byName[want] == 0 {
+			t.Errorf("no %q spans recorded: %v", want, byName)
+		}
+	}
+	// each proc has its own track plus main + kernel
+	if tracks := rec.Tracks(); len(tracks) != 4 {
+		t.Errorf("tracks = %v, want main/kernel/pid1/pid2", tracks)
+	}
+	reg := obs.NewRegistry()
+	m.FoldMetrics(reg, "kernel.")
+	if v, ok := reg.Snapshot().Get("kernel.context_switches"); !ok || v != float64(m.Switches()) {
+		t.Errorf("folded switches = %v %v, want %d", v, ok, m.Switches())
+	}
+}
+
+// TestObserveDoesNotPerturbTiming holds that attaching observability
+// never changes simulated results.
+func TestObserveDoesNotPerturbTiming(t *testing.T) {
+	run := func(observe bool) sim.Time {
+		m := newSolaris()
+		if observe {
+			m.Observe(obs.NewRecorder(m.Clock()))
+			m.EnableTrace(16)
+		}
+		pipe := m.NewPipe()
+		m.Spawn("w", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Write(pipe, 3000)
+			}
+		})
+		m.Spawn("r", func(p *Proc) { p.ReadFull(pipe, 150000) })
+		m.Run()
+		return m.Now()
+	}
+	if plain, observed := run(false), run(true); plain != observed {
+		t.Fatalf("observability changed the result: %v vs %v", plain, observed)
 	}
 }

@@ -20,9 +20,58 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
 )
+
+// Phase classifies where a machine's virtual time goes, mirroring the
+// paper's Figure 1 decomposition of a context switch: dispatcher
+// mechanics, system-call entry/exit, data copies, wakeups, process
+// creation, and user computation. The ledger is always on (an array add
+// per charge), so `pentiumbench metrics` can attribute any kernel
+// experiment without re-running it traced; by construction every clock
+// advance made through the kernel is tagged, so the phase sums equal the
+// machine's total elapsed time exactly.
+type Phase int
+
+const (
+	// PhaseDispatch is context-switch mechanics: run-queue scan or pick
+	// plus the dispatch-table reload (Solaris).
+	PhaseDispatch Phase = iota
+	// PhaseSyscall is system-call entry/exit and argument validation.
+	PhaseSyscall
+	// PhaseCopy is user/kernel data movement (pipe copies).
+	PhaseCopy
+	// PhaseWakeup is waking blocked peers.
+	PhaseWakeup
+	// PhaseProcess is process creation work (fork, exec).
+	PhaseProcess
+	// PhaseUser is time the benchmark programs charge for their own
+	// computation.
+	PhaseUser
+	// NumPhases sizes phase-indexed arrays.
+	NumPhases
+)
+
+// String names the phase for tables and metric keys.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseDispatch:
+		return "dispatch"
+	case PhaseSyscall:
+		return "syscall"
+	case PhaseCopy:
+		return "copy"
+	case PhaseWakeup:
+		return "wakeup"
+	case PhaseProcess:
+		return "process"
+	case PhaseUser:
+		return "user"
+	}
+	return fmt.Sprintf("Phase(%d)", int(ph))
+}
 
 // Machine is one simulated computer running one operating system
 // personality. It owns the virtual clock and the process table.
@@ -47,10 +96,18 @@ type Machine struct {
 	// diagnostics.
 	KernelTime sim.Duration
 
+	// phases is the always-on cycle-attribution ledger (see Phase).
+	phases [NumPhases]sim.Duration
+
 	// tracing state (see trace.go).
 	tracing    bool
 	traceLimit int
 	traceBuf   []TraceEvent
+	traceHead  int
+
+	// obs integration (see Observe).
+	rec         *obs.Recorder
+	kernelTrack obs.TrackID
 }
 
 // NewMachine builds a machine running the given OS personality. The RNG
@@ -93,10 +150,45 @@ func (m *Machine) ActiveProcs() int {
 	return n
 }
 
-// charge advances the virtual clock, attributing the time to the kernel.
-func (m *Machine) charge(d sim.Duration) {
+// PhaseTime returns the accumulated time attributed to one phase.
+func (m *Machine) PhaseTime(ph Phase) sim.Duration { return m.phases[ph] }
+
+// PhaseBreakdown returns the full attribution ledger, indexed by Phase.
+// The entries sum to exactly the machine's elapsed virtual time.
+func (m *Machine) PhaseBreakdown() [NumPhases]sim.Duration { return m.phases }
+
+// FoldMetrics adds the machine's counters to a registry under the given
+// name prefix ("kernel." conventionally).
+func (m *Machine) FoldMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + "context_switches").Add(float64(m.switches))
+	reg.Counter(prefix + "processes").Add(float64(len(m.procs)))
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		reg.Counter(prefix + "phase_us." + ph.String()).Add(m.phases[ph].Microseconds())
+	}
+}
+
+// charge advances the virtual clock, attributing the time to the kernel
+// and to one ledger phase.
+func (m *Machine) charge(ph Phase, d sim.Duration) {
 	m.clock.Advance(d)
 	m.KernelTime += d
+	m.phases[ph] += d
+}
+
+// chargeSpan is charge wrapped in an obs span on the given track, so the
+// Chrome trace shows the charge as a named interval. With no recorder
+// attached it costs the same two nil checks as a plain charge.
+func (m *Machine) chargeSpan(track obs.TrackID, name string, ph Phase, d sim.Duration) {
+	if m.rec != nil {
+		m.rec.Begin(track, name)
+	}
+	m.charge(ph, d)
+	if m.rec != nil {
+		m.rec.End(track, name, d.Microseconds())
+	}
 }
 
 // switchCost converts one dispatch's pick mechanics into time.
@@ -125,16 +217,24 @@ func (m *Machine) schedule() {
 		}
 		if next != m.lastRun {
 			d := m.switchCost(cost)
-			m.charge(d)
+			m.chargeSpan(m.kernelTrack, "dispatch", PhaseDispatch, d)
 			m.switches++
-			m.trace("dispatch", next.pid, "%s (cost %v, scanned %d, miss %v)",
-				next.name, d, cost.scanned, cost.tableMiss)
+			if m.observing() {
+				m.trace("dispatch", next.pid, "%s (cost %v, scanned %d, miss %v)",
+					next.name, d, cost.scanned, cost.tableMiss)
+			}
 		}
 		m.lastRun = next
 		m.current = next
 		next.state = procRunning
+		if m.rec != nil {
+			m.rec.Begin(next.track, "run")
+		}
 		next.resume <- struct{}{}
 		<-next.yielded
+		if m.rec != nil {
+			m.rec.End(next.track, "run", 0)
+		}
 		m.current = nil
 	}
 }

@@ -44,9 +44,11 @@ func (pp *Pipe) wake(q []*Proc) []*Proc {
 	if len(q) == 0 {
 		return q
 	}
-	pp.m.charge(pp.m.os.Kernel.PipeWake)
+	pp.m.chargeSpan(pp.m.kernelTrack, "wakeup", PhaseWakeup, pp.m.os.Kernel.PipeWake)
 	for _, p := range q {
-		pp.m.trace("wake", p.PID(), "%s", p.Name())
+		if pp.m.observing() {
+			pp.m.trace("wake", p.PID(), "%s", p.Name())
+		}
 		pp.m.ready(p)
 	}
 	return q[:0]
@@ -71,11 +73,13 @@ func (p *Proc) Write(pp *Pipe, n int) {
 		if chunk > space {
 			chunk = space
 		}
-		pp.m.charge(pp.copyCost(chunk))
+		pp.m.chargeSpan(p.track, "copy", PhaseCopy, pp.copyCost(chunk))
 		pp.buffered += chunk
 		pp.BytesTransferred += uint64(chunk)
 		n -= chunk
-		pp.m.trace("pipe-write", p.PID(), "%d bytes (buffered %d)", chunk, pp.buffered)
+		if pp.m.observing() {
+			pp.m.trace("pipe-write", p.PID(), "%d bytes (buffered %d)", chunk, pp.buffered)
+		}
 		pp.readers = pp.wake(pp.readers)
 	}
 }
@@ -96,9 +100,11 @@ func (p *Proc) Read(pp *Pipe, n int) int {
 	if chunk > pp.buffered {
 		chunk = pp.buffered
 	}
-	pp.m.charge(pp.copyCost(chunk))
+	pp.m.chargeSpan(p.track, "copy", PhaseCopy, pp.copyCost(chunk))
 	pp.buffered -= chunk
-	pp.m.trace("pipe-read", p.PID(), "%d bytes (buffered %d)", chunk, pp.buffered)
+	if pp.m.observing() {
+		pp.m.trace("pipe-read", p.PID(), "%d bytes (buffered %d)", chunk, pp.buffered)
+	}
 	pp.writers = pp.wake(pp.writers)
 	return chunk
 }

@@ -1,6 +1,9 @@
 package kernel
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 type procState int
 
@@ -38,6 +41,10 @@ type Proc struct {
 
 	// UserTime accumulates the virtual time this process charged.
 	UserTime sim.Duration
+
+	// track is this process's timeline in the attached obs recorder
+	// (0 when none is attached).
+	track obs.TrackID
 }
 
 // Spawn creates a process running fn and makes it runnable. The process
@@ -56,7 +63,12 @@ func (m *Machine) Spawn(name string, fn func(p *Proc)) *Proc {
 	}
 	m.nextPID++
 	m.procs = append(m.procs, p)
-	m.trace("spawn", p.pid, "%s", name)
+	if m.rec != nil {
+		p.track = m.rec.Track(p.trackName())
+	}
+	if m.observing() {
+		m.trace("spawn", p.pid, "%s", name)
+	}
 	go func() {
 		<-p.resume
 		defer func() {
@@ -66,7 +78,9 @@ func (m *Machine) Spawn(name string, fn func(p *Proc)) *Proc {
 				}
 			}
 			p.state = procDone
-			p.m.trace("exit", p.pid, "%s", p.name)
+			if p.m.observing() {
+				p.m.trace("exit", p.pid, "%s", p.name)
+			}
 			p.yielded <- struct{}{}
 		}()
 		if p.killed {
@@ -91,12 +105,13 @@ func (p *Proc) Machine() *Machine { return p.m }
 func (p *Proc) Charge(d sim.Duration) {
 	p.m.clock.Advance(d)
 	p.UserTime += d
+	p.m.phases[PhaseUser] += d
 }
 
 // Syscall charges the bare system-call entry/exit cost (what the getpid
 // benchmark measures, Table 2).
 func (p *Proc) Syscall() {
-	p.m.charge(p.m.os.Kernel.Syscall)
+	p.m.chargeSpan(p.track, "syscall", PhaseSyscall, p.m.os.Kernel.Syscall)
 }
 
 // Getpid performs the paper's reference null system call.
@@ -109,13 +124,15 @@ func (p *Proc) Getpid() int {
 // trap plus argument validation and file-table work.
 func (p *Proc) rwSyscall() {
 	k := &p.m.os.Kernel
-	p.m.charge(k.Syscall + k.ReadWriteExtra)
+	p.m.chargeSpan(p.track, "syscall", PhaseSyscall, k.Syscall+k.ReadWriteExtra)
 }
 
 // block parks the process until another process (or the kernel) readies
 // it. It must only be called while running.
 func (p *Proc) block() {
-	p.m.trace("block", p.pid, "%s", p.name)
+	if p.m.observing() {
+		p.m.trace("block", p.pid, "%s", p.name)
+	}
 	p.state = procBlocked
 	p.yielded <- struct{}{}
 	<-p.resume
@@ -138,7 +155,11 @@ func (p *Proc) YieldTimeslice() {
 }
 
 // ChargeFork charges the personality's fork cost (process duplication).
-func (p *Proc) ChargeFork() { p.m.charge(p.m.os.Kernel.Fork) }
+func (p *Proc) ChargeFork() {
+	p.m.chargeSpan(p.track, "fork", PhaseProcess, p.m.os.Kernel.Fork)
+}
 
 // ChargeExec charges the personality's exec cost (program image load).
-func (p *Proc) ChargeExec() { p.m.charge(p.m.os.Kernel.Exec) }
+func (p *Proc) ChargeExec() {
+	p.m.chargeSpan(p.track, "exec", PhaseProcess, p.m.os.Kernel.Exec)
+}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -29,42 +30,82 @@ func (e TraceEvent) String() string {
 		e.When.Sub(0).Std(), e.Kind, e.PID, e.Detail)
 }
 
-// EnableTrace starts recording kernel events, keeping at most limit
-// (older events are dropped first). Tracing is off by default and costs
-// nothing when off.
+// EnableTrace starts recording kernel events into a fixed-size ring of at
+// most limit entries (0 means the default 4096); once full, the oldest
+// events are overwritten first. The ring's backing array is allocated
+// once here, so steady-state tracing never reallocates. Tracing is off by
+// default and costs nothing when off.
 func (m *Machine) EnableTrace(limit int) {
 	if limit <= 0 {
 		limit = 4096
 	}
 	m.traceLimit = limit
 	m.tracing = true
-	m.traceBuf = nil
+	m.traceBuf = make([]TraceEvent, 0, limit)
+	m.traceHead = 0
 }
 
-// TraceEvents returns the recorded events in time order.
+// TraceEvents returns the recorded events in time order (for a full ring,
+// the oldest surviving event leads).
 func (m *Machine) TraceEvents() []TraceEvent {
-	out := make([]TraceEvent, len(m.traceBuf))
-	copy(out, m.traceBuf)
+	out := make([]TraceEvent, 0, len(m.traceBuf))
+	out = append(out, m.traceBuf[m.traceHead:]...)
+	out = append(out, m.traceBuf[:m.traceHead]...)
 	return out
 }
 
-// trace records one event when tracing is enabled.
-func (m *Machine) trace(kind string, pid int, format string, args ...any) {
-	if !m.tracing {
+// Observe attaches an obs recorder: kernel narration becomes obs instant
+// events, dispatches and syscalls become spans, and each process gets its
+// own track. Pass nil to detach. Processes spawned both before and after
+// the call are covered.
+func (m *Machine) Observe(rec *obs.Recorder) {
+	m.rec = rec
+	if rec == nil {
+		m.kernelTrack = 0
 		return
 	}
-	e := TraceEvent{
-		When: m.clock.Now(),
-		Kind: kind,
-		PID:  pid,
+	m.kernelTrack = rec.Track("kernel")
+	for _, p := range m.procs {
+		p.track = rec.Track(p.trackName())
 	}
-	if len(args) == 0 {
-		e.Detail = format
-	} else {
-		e.Detail = fmt.Sprintf(format, args...)
+}
+
+// Recorder returns the attached obs recorder (nil when detached).
+func (m *Machine) Recorder() *obs.Recorder { return m.rec }
+
+// trackName labels a process's timeline in trace exports.
+func (p *Proc) trackName() string {
+	return fmt.Sprintf("pid %d %s", p.pid, p.name)
+}
+
+// observing reports whether any narrative sink (text trace ring or obs
+// recorder) is attached. Hot call sites with formatted details must guard
+// trace() with it so variadic boxing never happens when observability is
+// off — that guard is what keeps the disabled path at zero allocations.
+func (m *Machine) observing() bool { return m.tracing || m.rec != nil }
+
+// trace records one narrated event to every attached sink.
+func (m *Machine) trace(kind string, pid int, format string, args ...any) {
+	if !m.observing() {
+		return
 	}
-	m.traceBuf = append(m.traceBuf, e)
-	if len(m.traceBuf) > m.traceLimit {
-		m.traceBuf = m.traceBuf[len(m.traceBuf)-m.traceLimit:]
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	if m.tracing {
+		e := TraceEvent{When: m.clock.Now(), Kind: kind, PID: pid, Detail: detail}
+		if len(m.traceBuf) == m.traceLimit {
+			m.traceBuf[m.traceHead] = e
+			m.traceHead++
+			if m.traceHead == m.traceLimit {
+				m.traceHead = 0
+			}
+		} else {
+			m.traceBuf = append(m.traceBuf, e)
+		}
+	}
+	if m.rec != nil {
+		m.rec.Instant(m.kernelTrack, kind, pid, detail)
 	}
 }

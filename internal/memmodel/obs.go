@@ -1,0 +1,47 @@
+package memmodel
+
+import "repro/internal/cache"
+
+// ObservedPoint couples one Bandwidth measurement with its cycle
+// attribution: which service level the simulated cycles went to, how
+// much fill latency prefetching hid, and the hierarchy's traffic
+// counters. It is the data behind the `pentiumbench metrics` tables for
+// the §6 memory figures.
+type ObservedPoint struct {
+	// MBs is the achieved bandwidth in MB/s, exactly as Bandwidth
+	// returns it: the attribution path is bit-identical in cycles to the
+	// fast path (the §8.1 invariant), so observing a point never changes
+	// its value.
+	MBs float64
+	// Breakdown attributes the simulated cycles of the measured passes.
+	// Its Total equals SimCycles within float re-association tolerance.
+	Breakdown cache.CycleBreakdown
+	// Overlap is the fill latency (cycles) hidden by software
+	// prefetching across the measured passes; the effective cost the
+	// bandwidth derives from subtracts it, so attribution tables show it
+	// as a negative row.
+	Overlap float64
+	// SimCycles is the raw cycle ledger over the measured passes (before
+	// steady-state extrapolation).
+	SimCycles float64
+	// Stats is the hierarchy's traffic over the measured passes.
+	Stats cache.Stats
+}
+
+// ObservedBandwidth is Bandwidth with cycle attribution attached for the
+// duration of the measurement. Traffic counters are reset first so the
+// returned Stats cover exactly this point.
+func (m *Model) ObservedBandwidth(r Routine, size int) ObservedPoint {
+	var b cache.CycleBreakdown
+	m.hier.AttachBreakdown(&b)
+	defer m.hier.AttachBreakdown(nil)
+	m.hier.ResetStats()
+	mbs := m.Bandwidth(r, size)
+	return ObservedPoint{
+		MBs:       mbs,
+		Breakdown: b,
+		Overlap:   m.overlapSavings,
+		SimCycles: m.hier.Cycles(),
+		Stats:     m.hier.Stats(),
+	}
+}

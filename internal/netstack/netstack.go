@@ -16,6 +16,7 @@ package netstack
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
 )
@@ -34,6 +35,25 @@ func NewUDP(p *osprofile.Profile) *UDP { return &UDP{os: p} }
 // Linux's includes its two unnecessary extra copies), and receiver
 // delivery.
 func (u *UDP) PacketTime(size int) sim.Duration {
+	return u.PacketBreakdown(size).Total()
+}
+
+// UDPBreakdown attributes one datagram's CPU time to its components. The
+// parts sum exactly to PacketTime (integer durations, same charges).
+type UDPBreakdown struct {
+	// PerPacket is the fixed protocol processing per datagram.
+	PerPacket sim.Duration
+	// Copy is the data movement down and up the stack.
+	Copy sim.Duration
+	// Syscall is both endpoints' system-call entry.
+	Syscall sim.Duration
+}
+
+// Total returns the summed packet time.
+func (b UDPBreakdown) Total() sim.Duration { return b.PerPacket + b.Copy + b.Syscall }
+
+// PacketBreakdown returns the per-component decomposition of PacketTime.
+func (u *UDP) PacketBreakdown(size int) UDPBreakdown {
 	if size <= 0 {
 		panic("netstack: datagram size must be positive")
 	}
@@ -41,11 +61,12 @@ func (u *UDP) PacketTime(size int) sim.Duration {
 		panic(fmt.Sprintf("netstack: datagram %d exceeds max %d", size, u.os.Net.UDPMaxDatagram))
 	}
 	n := &u.os.Net
-	t := n.UDPPerPacket
-	t += sim.Duration(int64(n.UDPCopyPerKB) * int64(size) / 1024)
-	// Both endpoints pay syscall entry.
-	t += 2 * (u.os.Kernel.Syscall + u.os.Kernel.ReadWriteExtra)
-	return t
+	return UDPBreakdown{
+		PerPacket: n.UDPPerPacket,
+		Copy:      sim.Duration(int64(n.UDPCopyPerKB) * int64(size) / 1024),
+		// Both endpoints pay syscall entry.
+		Syscall: 2 * (u.os.Kernel.Syscall + u.os.Kernel.ReadWriteExtra),
+	}
 }
 
 // Transfer returns the time to move totalBytes in datagrams of the given
@@ -100,6 +121,37 @@ func (t *TCP) segTime(payload int) sim.Duration {
 	return n.TCPPerPacket + sim.Duration(int64(n.TCPCopyPerKB)*int64(payload)/1024)
 }
 
+// TCPStats decomposes a Transfer: the event counts of the sliding-window
+// walk and the time each activity consumed. SegTime + AckTime +
+// SwitchTime equals the elapsed transfer time exactly — every duration
+// the walk accrues is tagged with one of the three.
+type TCPStats struct {
+	// Segments is the number of MSS-or-smaller segments sent.
+	Segments uint64
+	// Acks is the number of cumulative acknowledgements.
+	Acks uint64
+	// WindowStalls counts the times the sender ran out of window credit
+	// with data still to send — the Linux 1.2.8 collapse is this counter
+	// exploding (one stall per segment at window 1).
+	WindowStalls uint64
+	// Switches is the number of scheduler switches (two per ack cycle).
+	Switches uint64
+	// SegTime, AckTime and SwitchTime attribute the elapsed time.
+	SegTime, AckTime, SwitchTime sim.Duration
+}
+
+// FoldMetrics adds the transfer decomposition into a registry under the
+// given prefix (e.g. "tcp.").
+func (s TCPStats) FoldMetrics(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix + "segments").Add(float64(s.Segments))
+	reg.Counter(prefix + "acks").Add(float64(s.Acks))
+	reg.Counter(prefix + "window_stalls").Add(float64(s.WindowStalls))
+	reg.Counter(prefix + "switches").Add(float64(s.Switches))
+	reg.Counter(prefix + "seg_us").Add(s.SegTime.Microseconds())
+	reg.Counter(prefix + "ack_us").Add(s.AckTime.Microseconds())
+	reg.Counter(prefix + "switch_us").Add(s.SwitchTime.Microseconds())
+}
+
 // Transfer simulates moving totalBytes through the connection and returns
 // the elapsed time. The simulation walks the sliding window: the sender
 // emits segments while it has window credit; when the window closes, the
@@ -107,6 +159,17 @@ func (t *TCP) segTime(payload int) sim.Duration {
 // acknowledges (AckCost), and control returns to the sender (a second
 // switch).
 func (t *TCP) Transfer(totalBytes int) sim.Duration {
+	elapsed, _ := t.TransferObserved(totalBytes, nil)
+	return elapsed
+}
+
+// TransferObserved is Transfer with the walk decomposed into TCPStats
+// and, when rec is non-nil, traced: send bursts become spans on a
+// "tcp sender" track (cost = segments in the burst) and drain-and-ack
+// cycles spans on a "tcp receiver" track (cost = segments drained), both
+// stamped with elapsed transfer time as the virtual timeline. Observing
+// never changes the elapsed result — the walk is the same code.
+func (t *TCP) TransferObserved(totalBytes int, rec *obs.Recorder) (sim.Duration, TCPStats) {
 	if totalBytes <= 0 {
 		panic("netstack: transfer size must be positive")
 	}
@@ -120,33 +183,63 @@ func (t *TCP) Transfer(totalBytes int) sim.Duration {
 	if k.Scheduler == osprofile.SchedScanAll {
 		switchCost += sim.Duration(2 * int64(k.CtxPerTask))
 	}
+	var sendTrack, recvTrack obs.TrackID
+	if rec.Enabled() {
+		sendTrack = rec.Track("tcp sender")
+		recvTrack = rec.Track("tcp receiver")
+	}
 
+	var st TCPStats
 	var elapsed sim.Duration
 	remaining := totalBytes
 	credit := window
 	inFlight := 0
 	for remaining > 0 || inFlight > 0 {
 		if remaining > 0 && credit > 0 {
-			payload := n.MSS
-			if payload > remaining {
-				payload = remaining
+			burstStart := elapsed
+			burst := 0
+			for remaining > 0 && credit > 0 {
+				payload := n.MSS
+				if payload > remaining {
+					payload = remaining
+				}
+				d := t.segTime(payload)
+				elapsed += d
+				st.Segments++
+				st.SegTime += d
+				remaining -= payload
+				credit--
+				inFlight++
+				burst++
 			}
-			elapsed += t.segTime(payload)
-			remaining -= payload
-			credit--
-			inFlight++
+			if rec.Enabled() {
+				rec.BeginAt(sim.Time(burstStart), sendTrack, "send burst")
+				rec.EndAt(sim.Time(elapsed), sendTrack, "send burst", float64(burst))
+			}
 			continue
 		}
 		// Window closed (or data exhausted): switch to the receiver,
 		// which drains everything in flight and acks cumulatively, then
 		// switch back.
+		if remaining > 0 {
+			st.WindowStalls++
+		}
+		drainStart := elapsed
 		elapsed += switchCost
 		elapsed += n.AckCost
 		elapsed += switchCost
+		st.Switches += 2
+		st.SwitchTime += 2 * switchCost
+		st.Acks++
+		st.AckTime += n.AckCost
+		if rec.Enabled() {
+			rec.BeginAt(sim.Time(drainStart), recvTrack, "drain+ack")
+			rec.EndAt(sim.Time(elapsed), recvTrack, "drain+ack", float64(inFlight))
+		}
 		credit += inFlight
 		inFlight = 0
 	}
-	return elapsed
+	return elapsed, st
 }
 
 // Link models the shared 10 Mb/s Ethernet between NFS client and server.

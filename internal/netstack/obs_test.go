@@ -1,0 +1,105 @@
+package netstack
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/osprofile"
+)
+
+// TransferObserved returns the same elapsed time as Transfer, and its
+// stats decompose that time exactly: SegTime + AckTime + SwitchTime is
+// the elapsed total, on every personality.
+func TestTransferObservedMatchesTransfer(t *testing.T) {
+	const total = 4 << 20
+	for _, p := range osprofile.All() {
+		tcp := NewTCP(p)
+		plain := tcp.Transfer(total)
+		elapsed, st := tcp.TransferObserved(total, nil)
+		if elapsed != plain {
+			t.Errorf("%s: observed %v != plain %v", p.Name, elapsed, plain)
+		}
+		if sum := st.SegTime + st.AckTime + st.SwitchTime; sum != elapsed {
+			t.Errorf("%s: stat sum %v != elapsed %v (%+v)", p.Name, sum, elapsed, st)
+		}
+		if st.Segments == 0 || st.Acks == 0 || st.Switches != 2*st.Acks {
+			t.Errorf("%s: implausible counts %+v", p.Name, st)
+		}
+	}
+}
+
+// A window of one packet stalls on every segment but the last — the
+// Table 5 Linux collapse as a counter.
+func TestWindowStallsAtWindowOne(t *testing.T) {
+	tcp := NewTCP(osprofile.FreeBSD205())
+	tcp.WindowOverride = 1
+	const total = 64 << 10
+	_, st := tcp.TransferObserved(total, nil)
+	if st.WindowStalls != st.Segments-1 {
+		t.Fatalf("window 1: stalls %d, segments %d; want stalls = segments-1", st.WindowStalls, st.Segments)
+	}
+}
+
+// Tracing a transfer emits balanced spans on the sender and receiver
+// tracks without changing the result.
+func TestTransferObservedSpans(t *testing.T) {
+	tcp := NewTCP(osprofile.Solaris24())
+	const total = 256 << 10
+	plain, _ := tcp.TransferObserved(total, nil)
+
+	rec := obs.NewRecorder(nil)
+	traced, st := tcp.TransferObserved(total, rec)
+	if traced != plain {
+		t.Fatalf("tracing changed elapsed: %v vs %v", traced, plain)
+	}
+	var begins, ends, bursts uint64
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case obs.EvBegin:
+			begins++
+			if e.Name == "send burst" {
+				bursts++
+			}
+		case obs.EvEnd:
+			ends++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("unbalanced spans: %d begins, %d ends", begins, ends)
+	}
+	if bursts == 0 {
+		t.Fatal("no send bursts recorded")
+	}
+	tracks := rec.Tracks()
+	found := 0
+	for _, tr := range tracks {
+		if tr == "tcp sender" || tr == "tcp receiver" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("missing tcp tracks in %v", tracks)
+	}
+
+	reg := obs.NewRegistry()
+	st.FoldMetrics(reg, "tcp.")
+	if v, ok := reg.Snapshot().Get("tcp.segments"); !ok || v != float64(st.Segments) {
+		t.Fatalf("tcp.segments = %v, want %d", v, st.Segments)
+	}
+}
+
+// The UDP breakdown's parts sum to PacketTime exactly.
+func TestUDPPacketBreakdown(t *testing.T) {
+	for _, p := range osprofile.All() {
+		u := NewUDP(p)
+		for _, size := range []int{64, 1024, 8192} {
+			b := u.PacketBreakdown(size)
+			if b.Total() != u.PacketTime(size) {
+				t.Errorf("%s/%d: breakdown %v != packet time %v", p.Name, size, b.Total(), u.PacketTime(size))
+			}
+			if b.PerPacket == 0 || b.Syscall == 0 {
+				t.Errorf("%s/%d: empty components %+v", p.Name, size, b)
+			}
+		}
+	}
+}

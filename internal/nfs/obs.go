@@ -1,0 +1,16 @@
+package nfs
+
+import "repro/internal/obs"
+
+// FoldMetrics adds the client-observed RPC counters into a registry under
+// the given prefix (e.g. "nfs.").
+func (s Stats) FoldMetrics(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix + "rpcs").Add(float64(s.RPCs))
+	reg.Counter(prefix + "read_rpcs").Add(float64(s.ReadRPCs))
+	reg.Counter(prefix + "write_rpcs").Add(float64(s.WriteRPCs))
+	reg.Counter(prefix + "lookup_rpcs").Add(float64(s.LookupRPCs))
+	reg.Counter(prefix + "meta_rpcs").Add(float64(s.MetaRPCs))
+	reg.Counter(prefix + "bytes_to_wire").Add(float64(s.BytesToWire))
+	reg.Counter(prefix + "bytes_from_wire").Add(float64(s.BytesFromWire))
+	reg.Counter(prefix + "cache_reads").Add(float64(s.CacheReads))
+}

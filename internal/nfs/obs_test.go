@@ -1,0 +1,51 @@
+package nfs
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/netstack"
+	"repro/internal/obs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// FoldMetrics lands the client RPC counters in a registry.
+func TestNFSFoldMetrics(t *testing.T) {
+	srv := NewServer(osprofile.FreeBSD205(), disk.HP3725(), 11)
+	var clock sim.Clock
+	m, err := NewMount(&clock, osprofile.FreeBSD205(), srv, netstack.Ethernet10(), MountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write(64 << 10)
+	h.SeekTo(0)
+	h.Read(64 << 10)
+	h.Close()
+	if _, err := m.Stat("/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	m.Stats().FoldMetrics(reg, "nfs.")
+	snap := reg.Snapshot()
+	st := m.Stats()
+	checks := map[string]float64{
+		"nfs.rpcs":            float64(st.RPCs),
+		"nfs.write_rpcs":      float64(st.WriteRPCs),
+		"nfs.bytes_to_wire":   float64(st.BytesToWire),
+		"nfs.bytes_from_wire": float64(st.BytesFromWire),
+	}
+	for name, want := range checks {
+		if got, ok := snap.Get(name); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	if st.RPCs == 0 || st.WriteRPCs == 0 {
+		t.Fatalf("workload produced no RPCs: %+v", st)
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/sim"
+)
+
+// WriteChrome emits the processes as Chrome trace-event JSON (the
+// "JSON Array Format" understood by Perfetto and chrome://tracing).
+// Each Process becomes one trace process (pid = index+1) and each track
+// one thread (tid = TrackID+1), named via metadata events. Timestamps
+// are virtual microseconds. The output is hand-rolled and fully
+// deterministic: same processes in, same bytes out, independent of map
+// iteration or worker count.
+//
+// Traces routinely carry millions of events, so the writer streams:
+// each line is appended into one reused buffer with strconv appends (no
+// per-event Sprintf, no whole-trace string) and flushed through a
+// bufio.Writer.
+func WriteChrome(w io.Writer, procs []Process) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	line := make([]byte, 0, 256)
+	first := true
+	// Each emit* helper below appends one JSON object to line; flush
+	// writes it out with the array separator.
+	flush := func() error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(line)
+		line = line[:0]
+		return err
+	}
+	appendStr := func(s string) { line = appendQuoteJSON(line, s) }
+	appendInt := func(v int64) { line = strconv.AppendInt(line, v, 10) }
+	for pi, p := range procs {
+		pid := int64(pi + 1)
+		line = append(line, `{"ph":"M","pid":`...)
+		appendInt(pid)
+		line = append(line, `,"name":"process_name","args":{"name":`...)
+		appendStr(p.Name)
+		line = append(line, `}}`...)
+		if err := flush(); err != nil {
+			return err
+		}
+		for ti, track := range p.Tracks {
+			line = append(line, `{"ph":"M","pid":`...)
+			appendInt(pid)
+			line = append(line, `,"tid":`...)
+			appendInt(int64(ti + 1))
+			line = append(line, `,"name":"thread_name","args":{"name":`...)
+			appendStr(track)
+			line = append(line, `}}`...)
+			if err := flush(); err != nil {
+				return err
+			}
+			// sort_index pins track order to registration order.
+			line = append(line, `{"ph":"M","pid":`...)
+			appendInt(pid)
+			line = append(line, `,"tid":`...)
+			appendInt(int64(ti + 1))
+			line = append(line, `,"name":"thread_sort_index","args":{"sort_index":`...)
+			appendInt(int64(ti))
+			line = append(line, `}}`...)
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		for _, e := range p.Events {
+			tid := int64(e.Track) + 1
+			switch e.Kind {
+			case EvBegin:
+				line = append(line, `{"ph":"B","pid":`...)
+			case EvEnd:
+				line = append(line, `{"ph":"E","pid":`...)
+			case EvInstant:
+				line = append(line, `{"ph":"i","pid":`...)
+			default:
+				continue
+			}
+			appendInt(pid)
+			line = append(line, `,"tid":`...)
+			appendInt(tid)
+			line = append(line, `,"ts":`...)
+			line = appendMicros(line, e.When)
+			line = append(line, `,"name":`...)
+			appendStr(e.Name)
+			switch e.Kind {
+			case EvEnd:
+				if e.Cost != 0 {
+					line = append(line, `,"args":{"cost":`...)
+					line = strconv.AppendFloat(line, e.Cost, 'g', -1, 64)
+					line = append(line, `}`...)
+				}
+			case EvInstant:
+				line = append(line, `,"s":"t"`...)
+				if e.PID != 0 || e.Detail != "" {
+					line = append(line, `,"args":{`...)
+					if e.PID != 0 {
+						line = append(line, `"pid":`...)
+						appendInt(int64(e.PID))
+						if e.Detail != "" {
+							line = append(line, ',')
+						}
+					}
+					if e.Detail != "" {
+						line = append(line, `"detail":`...)
+						appendStr(e.Detail)
+					}
+					line = append(line, `}`...)
+				}
+			}
+			line = append(line, `}`...)
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendMicros appends a virtual time (integer nanoseconds) as
+// trace-event microseconds, keeping sub-microsecond precision without
+// float rounding.
+func appendMicros(b []byte, t sim.Time) []byte {
+	ns := int64(t)
+	if ns < 0 {
+		b = append(b, '-')
+		ns = -ns
+	}
+	us, rem := ns/1000, ns%1000
+	b = strconv.AppendInt(b, us, 10)
+	if rem != 0 {
+		b = append(b, '.')
+		digits := [3]byte{byte('0' + rem/100), byte('0' + rem/10%10), byte('0' + rem%10)}
+		n := 3
+		for n > 1 && digits[n-1] == '0' {
+			n--
+		}
+		b = append(b, digits[:n]...)
+	}
+	return b
+}
+
+// appendQuoteJSON appends s as a JSON string literal.
+func appendQuoteJSON(b []byte, s string) []byte {
+	b = append(b, '"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b = append(b, `\"`...)
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		case '\t':
+			b = append(b, `\t`...)
+		case '\r':
+			b = append(b, `\r`...)
+		default:
+			if r < 0x20 {
+				b = append(b, fmt.Sprintf(`\u%04x`, r)...)
+			} else {
+				b = utf8.AppendRune(b, r)
+			}
+		}
+	}
+	return append(b, '"')
+}

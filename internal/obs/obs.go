@@ -1,0 +1,275 @@
+// Package obs is the deterministic observability substrate shared by every
+// model in this repository: hierarchical spans stamped with virtual sim
+// time, named counters and distributions, and exporters (a Chrome
+// trace-event JSON file loadable in Perfetto, and the per-phase
+// cycle-attribution tables behind `pentiumbench metrics`).
+//
+// Two properties govern the design (DESIGN.md §9):
+//
+//   - Zero cost when off. The disabled state is a nil *Recorder (and a nil
+//     *Counter / *Distribution handle); every method is a nil-receiver
+//     no-op that performs no allocation, so instrumented hot paths cost
+//     one predictable branch. TestDisabledPathZeroAllocs holds this with
+//     testing.AllocsPerRun.
+//
+//   - Determinism. Events are stamped with virtual time from the model's
+//     sim.Clock (or an explicit time for clockless models), never the wall
+//     clock, and parallel harness runs keep one Recorder and one Registry
+//     per task, merged in deterministic task order afterwards — so traces
+//     and metric snapshots are bit-identical at every worker count. The
+//     only exception is the harness's own self-observability (runner task
+//     timings, worker utilization), which measures real wall time and is
+//     kept under the "runner." name prefix, excluded from determinism
+//     comparisons by ExcludePrefix.
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TrackID identifies one timeline within a Recorder: a simulated process,
+// or a subsystem ("kernel", "fs", "disk", "tcp"). Track 0 always exists
+// and is the recorder's default timeline.
+type TrackID int32
+
+// EventKind distinguishes span boundaries from point events.
+type EventKind uint8
+
+const (
+	// EvBegin opens a span on a track. Spans nest per track: a Begin
+	// inside an open span is a child in the Chrome trace view.
+	EvBegin EventKind = iota
+	// EvEnd closes the most recently opened span on the track.
+	EvEnd
+	// EvInstant is a point event.
+	EvInstant
+)
+
+// String names the kind for debugging.
+func (k EventKind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvEnd:
+		return "end"
+	case EvInstant:
+		return "instant"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one recorded trace event.
+type Event struct {
+	// When is the virtual time of the event.
+	When sim.Time
+	// Track is the timeline the event belongs to.
+	Track TrackID
+	// Kind says whether this begins a span, ends one, or is an instant.
+	Kind EventKind
+	// Name is the span or event name (a constant string on hot paths).
+	Name string
+	// PID is the simulated process involved, when any (0 otherwise).
+	PID int
+	// Cost carries an attributed cost for the event (virtual nanoseconds
+	// or cycles, by the emitter's convention); 0 when unused.
+	Cost float64
+	// Detail is a human-readable annotation, formatted only while
+	// recording is enabled.
+	Detail string
+}
+
+// Recorder collects events for one single-threaded model run. A nil
+// *Recorder is the disabled state: every method no-ops without
+// allocating. Recorder is not safe for concurrent use — parallel harness
+// code gives each task its own Recorder and merges afterwards.
+type Recorder struct {
+	clock  *sim.Clock
+	tracks []string
+	events []Event
+	// limit > 0 bounds the buffer as a ring over the most recent events
+	// (head marks the oldest); 0 keeps everything.
+	limit int
+	head  int
+}
+
+// NewRecorder returns an unbounded recorder stamping events from clock.
+// A nil clock is allowed when every event supplies an explicit time via
+// the ...At variants.
+func NewRecorder(clock *sim.Clock) *Recorder {
+	return &Recorder{clock: clock, tracks: []string{"main"}}
+}
+
+// NewRing returns a recorder that keeps only the most recent limit
+// events, dropping the oldest first — the kernel's bounded text trace
+// rides on this.
+func NewRing(clock *sim.Clock, limit int) *Recorder {
+	if limit <= 0 {
+		panic("obs: ring limit must be positive")
+	}
+	r := NewRecorder(clock)
+	r.limit = limit
+	r.events = make([]Event, 0, limit)
+	return r
+}
+
+// Enabled reports whether the recorder is live. It is the idiomatic guard
+// for instrumentation whose argument preparation itself costs something
+// (formatting, boxing): `if rec.Enabled() { rec.Instantf(...) }`.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Track registers (or finds) a named timeline and returns its ID. On a
+// nil recorder it returns 0, which every emitting method ignores.
+func (r *Recorder) Track(name string) TrackID {
+	if r == nil {
+		return 0
+	}
+	for i, t := range r.tracks {
+		if t == name {
+			return TrackID(i)
+		}
+	}
+	r.tracks = append(r.tracks, name)
+	return TrackID(len(r.tracks) - 1)
+}
+
+// Tracks returns the registered track names in registration order.
+func (r *Recorder) Tracks() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.tracks))
+	copy(out, r.tracks)
+	return out
+}
+
+// now returns the clock time, or 0 without a clock.
+func (r *Recorder) now() sim.Time {
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock.Now()
+}
+
+// record appends one event, honouring the ring bound.
+func (r *Recorder) record(e Event) {
+	if r.limit > 0 && len(r.events) == r.limit {
+		r.events[r.head] = e
+		r.head++
+		if r.head == r.limit {
+			r.head = 0
+		}
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Begin opens a span on the track at the current virtual time.
+func (r *Recorder) Begin(track TrackID, name string) {
+	if r == nil {
+		return
+	}
+	r.record(Event{When: r.now(), Track: track, Kind: EvBegin, Name: name})
+}
+
+// BeginAt opens a span at an explicit virtual time (for models that
+// compute elapsed time without advancing a clock, like netstack).
+func (r *Recorder) BeginAt(t sim.Time, track TrackID, name string) {
+	if r == nil {
+		return
+	}
+	r.record(Event{When: t, Track: track, Kind: EvBegin, Name: name})
+}
+
+// End closes the most recent open span on the track, attributing cost to
+// it (0 for none).
+func (r *Recorder) End(track TrackID, name string, cost float64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{When: r.now(), Track: track, Kind: EvEnd, Name: name, Cost: cost})
+}
+
+// EndAt closes a span at an explicit virtual time.
+func (r *Recorder) EndAt(t sim.Time, track TrackID, name string, cost float64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{When: t, Track: track, Kind: EvEnd, Name: name, Cost: cost})
+}
+
+// Instant records a point event at the current virtual time.
+func (r *Recorder) Instant(track TrackID, name string, pid int, detail string) {
+	if r == nil {
+		return
+	}
+	r.record(Event{When: r.now(), Track: track, Kind: EvInstant, Name: name, PID: pid, Detail: detail})
+}
+
+// InstantAt records a point event at an explicit virtual time.
+func (r *Recorder) InstantAt(t sim.Time, track TrackID, name string, pid int, detail string) {
+	if r == nil {
+		return
+	}
+	r.record(Event{When: t, Track: track, Kind: EvInstant, Name: name, PID: pid, Detail: detail})
+}
+
+// Instantf records a point event with a formatted detail. The formatting
+// allocates, so hot paths must guard the call with Enabled().
+func (r *Recorder) Instantf(track TrackID, name string, pid int, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	r.record(Event{When: r.now(), Track: track, Kind: EvInstant, Name: name, PID: pid, Detail: detail})
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the buffered events in record order (oldest first; for a
+// ring recorder the oldest surviving event leads).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.head:]...)
+	out = append(out, r.events[:r.head]...)
+	return out
+}
+
+// Reset drops all buffered events, keeping tracks registered.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.events = r.events[:0]
+	r.head = 0
+}
+
+// Process couples one model run's trace with a display name, for export:
+// each Process becomes one Chrome trace process (one group of tracks).
+type Process struct {
+	// Name labels the process in the trace viewer (an OS personality,
+	// usually).
+	Name string
+	// Tracks are the track names, indexed by TrackID.
+	Tracks []string
+	// Events is the event stream in record order.
+	Events []Event
+}
+
+// Capture snapshots a recorder into an exportable Process.
+func (r *Recorder) Capture(name string) Process {
+	return Process{Name: name, Tracks: r.Tracks(), Events: r.Events()}
+}

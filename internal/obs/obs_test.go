@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRecorderSpansAndTracks(t *testing.T) {
+	var clock sim.Clock
+	rec := NewRecorder(&clock)
+	if !rec.Enabled() {
+		t.Fatal("live recorder should report Enabled")
+	}
+	kern := rec.Track("kernel")
+	if got := rec.Track("kernel"); got != kern {
+		t.Fatalf("Track not idempotent: %d vs %d", got, kern)
+	}
+	rec.Begin(kern, "syscall")
+	clock.Advance(5 * sim.Microsecond)
+	rec.Instant(kern, "dispatch", 3, "to pid 3")
+	clock.Advance(5 * sim.Microsecond)
+	rec.End(kern, "syscall", 10)
+
+	ev := rec.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0].Kind != EvBegin || ev[0].When != 0 {
+		t.Errorf("event 0 = %+v, want begin at T+0", ev[0])
+	}
+	if ev[1].Kind != EvInstant || ev[1].PID != 3 || ev[1].When != sim.Time(5*sim.Microsecond) {
+		t.Errorf("event 1 = %+v, want instant pid=3 at 5us", ev[1])
+	}
+	if ev[2].Kind != EvEnd || ev[2].Cost != 10 {
+		t.Errorf("event 2 = %+v, want end cost=10", ev[2])
+	}
+	tracks := rec.Tracks()
+	if len(tracks) != 2 || tracks[0] != "main" || tracks[1] != "kernel" {
+		t.Errorf("tracks = %v", tracks)
+	}
+}
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var rec *Recorder
+	if rec.Enabled() {
+		t.Fatal("nil recorder must report disabled")
+	}
+	tr := rec.Track("anything")
+	rec.Begin(tr, "x")
+	rec.End(tr, "x", 1)
+	rec.Instant(tr, "y", 1, "d")
+	rec.Instantf(tr, "z", 1, "n=%d", 4)
+	rec.Reset()
+	if rec.Len() != 0 || rec.Events() != nil || rec.Tracks() != nil {
+		t.Fatal("nil recorder must stay empty")
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	var clock sim.Clock
+	rec := NewRing(&clock, 3)
+	for i := 0; i < 5; i++ {
+		clock.Advance(sim.Microsecond)
+		rec.Instantf(0, "ev", i, "n=%d", i)
+	}
+	ev := rec.Events()
+	if len(ev) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(ev))
+	}
+	// events 0 and 1 were the oldest and must be gone; 2,3,4 survive in order
+	for i, want := range []int{2, 3, 4} {
+		if ev[i].PID != want {
+			t.Errorf("ring slot %d has pid %d, want %d", i, ev[i].PID, want)
+		}
+	}
+	if ev[0].When >= ev[1].When || ev[1].When >= ev[2].When {
+		t.Errorf("ring events out of time order: %v", ev)
+	}
+}
+
+func TestRingLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(clock, 0) should panic")
+		}
+	}()
+	NewRing(nil, 0)
+}
+
+func TestRecorderReset(t *testing.T) {
+	rec := NewRing(nil, 2)
+	rec.InstantAt(1, 0, "a", 0, "")
+	rec.InstantAt(2, 0, "b", 0, "")
+	rec.InstantAt(3, 0, "c", 0, "")
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", rec.Len())
+	}
+	rec.InstantAt(4, 0, "d", 0, "")
+	ev := rec.Events()
+	if len(ev) != 1 || ev[0].Name != "d" {
+		t.Fatalf("events after reset = %v", ev)
+	}
+}
+
+func TestRegistryCountersAndDists(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("cache.l1_misses")
+	if reg.Counter("cache.l1_misses") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %v, want 3", c.Value())
+	}
+	d := reg.Distribution("disk.seek_us")
+	d.Observe(4)
+	d.Observe(10)
+	d.Observe(1)
+	if d.Count() != 3 || d.Mean() != 5 {
+		t.Fatalf("dist count=%d mean=%v", d.Count(), d.Mean())
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Get("cache.l1_misses"); !ok || v != 3 {
+		t.Fatalf("Get = %v %v", v, ok)
+	}
+	if _, ok := snap.Get("missing"); ok {
+		t.Fatal("Get(missing) should report absent")
+	}
+	if len(snap.Dists) != 1 || snap.Dists[0].Min != 1 || snap.Dists[0].Max != 10 {
+		t.Fatalf("dists = %+v", snap.Dists)
+	}
+}
+
+func TestNilRegistryHandles(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter must stay zero")
+	}
+	d := reg.Distribution("y")
+	d.Observe(1)
+	if d.Count() != 0 || d.Mean() != 0 {
+		t.Fatal("nil distribution must stay empty")
+	}
+	if snap := reg.Snapshot(); len(snap.Counters) != 0 || len(snap.Dists) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotSortedAndEqual(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.last").Add(1)
+	reg.Counter("a.first").Add(2)
+	reg.Counter("m.mid").Add(3)
+	snap := reg.Snapshot()
+	names := []string{snap.Counters[0].Name, snap.Counters[1].Name, snap.Counters[2].Name}
+	if names[0] != "a.first" || names[1] != "m.mid" || names[2] != "z.last" {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+	if !snap.Equal(reg.Snapshot()) {
+		t.Fatal("identical snapshots must be Equal")
+	}
+	reg.Counter("a.first").Inc()
+	if snap.Equal(reg.Snapshot()) {
+		t.Fatal("changed registry must not Equal old snapshot")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops").Add(10)
+	before := reg.Snapshot()
+	reg.Counter("ops").Add(7)
+	reg.Counter("new").Add(2)
+	delta := reg.Snapshot().Diff(before)
+	if v, _ := delta.Get("ops"); v != 7 {
+		t.Errorf("diff ops = %v, want 7", v)
+	}
+	if v, _ := delta.Get("new"); v != 2 {
+		t.Errorf("diff new = %v, want 2", v)
+	}
+}
+
+func TestSnapshotExcludePrefix(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runner.wall_ms").Add(123)
+	reg.Counter("cache.l1_hits").Add(9)
+	reg.Distribution("runner.task_ms").Observe(5)
+	reg.Distribution("disk.seeks").Observe(1)
+	snap := reg.Snapshot().ExcludePrefix("runner.")
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "cache.l1_hits" {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if len(snap.Dists) != 1 || snap.Dists[0].Name != "disk.seeks" {
+		t.Fatalf("dists = %+v", snap.Dists)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("hits").Add(3)
+	a.Distribution("lat").Observe(2)
+	a.Distribution("lat").Observe(8)
+	b := NewRegistry()
+	b.Counter("hits").Add(4)
+	b.Counter("misses").Add(1)
+	b.Distribution("lat").Observe(1)
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if v, _ := merged.Get("hits"); v != 7 {
+		t.Errorf("merged hits = %v, want 7", v)
+	}
+	if v, _ := merged.Get("misses"); v != 1 {
+		t.Errorf("merged misses = %v, want 1", v)
+	}
+	if len(merged.Dists) != 1 {
+		t.Fatalf("merged dists = %+v", merged.Dists)
+	}
+	d := merged.Dists[0]
+	if d.Count != 3 || d.Sum != 11 || d.Min != 1 || d.Max != 8 {
+		t.Errorf("merged lat = %+v", d)
+	}
+	// merge must be independent of grouping but ordered parts give same bytes
+	again := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if !merged.Equal(again) {
+		t.Fatal("merge not deterministic")
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	var clock sim.Clock
+	rec := NewRecorder(&clock)
+	tr := rec.Track("cpu")
+	rec.Begin(tr, `quote"and\slash`)
+	clock.Advance(1500) // 1.5us: exercises fractional timestamps
+	rec.Instant(tr, "tick", 7, "detail\nline")
+	clock.Advance(500)
+	rec.End(tr, `quote"and\slash`, 2.5)
+
+	var buf strings.Builder
+	if err := WriteChrome(&buf, []Process{rec.Capture("Linux")}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(out), &events); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", err, out)
+	}
+	// 1 process_name + 2 per track (name + sort) * 2 tracks + 3 events
+	if len(events) != 1+4+3 {
+		t.Fatalf("got %d JSON events, want 8:\n%s", len(events), out)
+	}
+	var phases []string
+	for _, e := range events {
+		phases = append(phases, e["ph"].(string))
+	}
+	want := []string{"M", "M", "M", "M", "M", "B", "i", "E"}
+	for i, p := range want {
+		if phases[i] != p {
+			t.Fatalf("phases = %v, want %v", phases, want)
+		}
+	}
+	if !strings.Contains(out, `"ts":1.5`) {
+		t.Errorf("fractional microsecond timestamp missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"cost":2.5`) {
+		t.Errorf("span cost missing:\n%s", out)
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	build := func() string {
+		var clock sim.Clock
+		rec := NewRecorder(&clock)
+		a, b := rec.Track("a"), rec.Track("b")
+		for i := 0; i < 10; i++ {
+			clock.Advance(sim.Duration(100 * (i + 1)))
+			rec.Begin(a, "op")
+			rec.Instant(b, "note", i, "")
+			clock.Advance(50)
+			rec.End(a, "op", float64(i))
+		}
+		var buf strings.Builder
+		if err := WriteChrome(&buf, []Process{rec.Capture("p")}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build() != build() {
+		t.Fatal("chrome export not byte-identical across identical runs")
+	}
+}
+
+// TestDisabledPathZeroAllocs holds the package's core promise: with a nil
+// recorder and nil metric handles, instrumented hot paths allocate nothing.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var rec *Recorder
+	var reg *Registry
+	c := reg.Counter("hot.counter")
+	d := reg.Distribution("hot.dist")
+	tr := rec.Track("hot")
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Begin(tr, "span")
+		rec.Instant(tr, "point", 1, "")
+		rec.End(tr, "span", 1)
+		c.Inc()
+		c.Add(2)
+		d.Observe(3)
+		if rec.Enabled() {
+			rec.Instantf(tr, "fmt", 1, "n=%d", 4)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledHotPath is the CI guard for the same property, with
+// b.ReportAllocs so regressions are visible in benchmark output too.
+func BenchmarkDisabledHotPath(b *testing.B) {
+	var rec *Recorder
+	var reg *Registry
+	c := reg.Counter("hot.counter")
+	tr := rec.Track("hot")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Begin(tr, "span")
+		rec.End(tr, "span", 1)
+		c.Inc()
+	}
+}
+
+// BenchmarkEnabledSpan measures the live-path cost for reference.
+func BenchmarkEnabledSpan(b *testing.B) {
+	var clock sim.Clock
+	rec := NewRing(&clock, 4096)
+	tr := rec.Track("hot")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Begin(tr, "span")
+		rec.End(tr, "span", 1)
+	}
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is one monotonically growing named metric. A nil *Counter (from
+// a nil Registry, or an unattached subsystem) ignores every update with no
+// allocation, so models keep counter handles unconditionally.
+type Counter struct {
+	name string
+	v    float64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Add grows the counter by v.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	c.v += v
+}
+
+// Inc grows the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current value (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Distribution summarises a stream of observations: count, sum, min and
+// max. Like Counter, a nil *Distribution ignores updates.
+type Distribution struct {
+	name     string
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// Name returns the distribution's registered name.
+func (d *Distribution) Name() string {
+	if d == nil {
+		return ""
+	}
+	return d.name
+}
+
+// Observe records one value.
+func (d *Distribution) Observe(v float64) {
+	if d == nil {
+		return
+	}
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if d.count == 0 || v > d.max {
+		d.max = v
+	}
+	d.count++
+	d.sum += v
+}
+
+// Count returns the number of observations.
+func (d *Distribution) Count() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.count
+}
+
+// Mean returns the mean of the observations (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if d == nil || d.count == 0 {
+		return 0
+	}
+	return d.sum / float64(d.count)
+}
+
+// Registry holds the named counters and distributions of one model run.
+// Names are conventionally "subsystem.metric" ("cache.l1_misses",
+// "tcp.window_stalls"). A nil *Registry hands out nil handles, keeping the
+// disabled path allocation-free. Registry is not safe for concurrent use;
+// parallel harness code keeps one per task and merges snapshots.
+type Registry struct {
+	counters map[string]*Counter
+	dists    map[string]*Distribution
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		dists:    make(map[string]*Distribution),
+	}
+}
+
+// Counter registers (or finds) a counter by name.
+func (g *Registry) Counter(name string) *Counter {
+	if g == nil {
+		return nil
+	}
+	if c, ok := g.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	g.counters[name] = c
+	return c
+}
+
+// Distribution registers (or finds) a distribution by name.
+func (g *Registry) Distribution(name string) *Distribution {
+	if g == nil {
+		return nil
+	}
+	if d, ok := g.dists[name]; ok {
+		return d
+	}
+	d := &Distribution{name: name}
+	g.dists[name] = d
+	return d
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string
+	Value float64
+}
+
+// DistValue is one distribution in a snapshot.
+type DistValue struct {
+	Name     string
+	Count    uint64
+	Sum      float64
+	Min, Max float64
+}
+
+// Snapshot is an immutable, name-sorted copy of a registry's state —
+// the unit of comparison for the determinism tests and of diffing for
+// per-experiment metric deltas.
+type Snapshot struct {
+	Counters []CounterValue
+	Dists    []DistValue
+}
+
+// Snapshot captures the registry, sorted by name. A nil registry yields
+// an empty snapshot.
+func (g *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if g == nil {
+		return s
+	}
+	for name, c := range g.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.v})
+	}
+	for name, d := range g.dists {
+		s.Dists = append(s.Dists, DistValue{Name: name, Count: d.count, Sum: d.sum, Min: d.min, Max: d.max})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Dists, func(i, j int) bool { return s.Dists[i].Name < s.Dists[j].Name })
+	return s
+}
+
+// Get returns the value of a named counter and whether it exists.
+func (s Snapshot) Get(name string) (float64, bool) {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value, true
+	}
+	return 0, false
+}
+
+// Diff returns this snapshot with prev's counter values subtracted and
+// distributions kept as-is, for reporting what one phase of work added.
+// Counters present only in prev appear with their negated value.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	vals := make(map[string]float64, len(s.Counters))
+	for _, c := range s.Counters {
+		vals[c.Name] = c.Value
+	}
+	for _, c := range prev.Counters {
+		vals[c.Name] -= c.Value
+	}
+	out := Snapshot{Dists: append([]DistValue(nil), s.Dists...)}
+	for name, v := range vals {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: v})
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	return out
+}
+
+// ExcludePrefix returns the snapshot without metrics whose name starts
+// with the prefix. The determinism tests use it to drop the harness's
+// wall-clock self-observability ("runner.") before comparing.
+func (s Snapshot) ExcludePrefix(prefix string) Snapshot {
+	var out Snapshot
+	for _, c := range s.Counters {
+		if !strings.HasPrefix(c.Name, prefix) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, d := range s.Dists {
+		if !strings.HasPrefix(d.Name, prefix) {
+			out.Dists = append(out.Dists, d)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two snapshots are bit-identical (names, counts
+// and float values).
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Counters) != len(o.Counters) || len(s.Dists) != len(o.Dists) {
+		return false
+	}
+	for i, c := range s.Counters {
+		if c != o.Counters[i] {
+			return false
+		}
+	}
+	for i, d := range s.Dists {
+		if d != o.Dists[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the snapshot one metric per line, for debugging and
+// golden output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%s %v\n", c.Name, c.Value)
+	}
+	for _, d := range s.Dists {
+		fmt.Fprintf(&b, "%s count=%d sum=%v min=%v max=%v\n", d.Name, d.Count, d.Sum, d.Min, d.Max)
+	}
+	return b.String()
+}
+
+// MergeSnapshots combines per-task snapshots in the given (deterministic)
+// order: counter values add, distributions combine. Because parts arrive
+// in task order — never completion order — the float accumulation order
+// is schedule-independent, which keeps merged snapshots bit-identical at
+// every worker count.
+func MergeSnapshots(parts ...Snapshot) Snapshot {
+	counters := make(map[string]float64)
+	var corder []string
+	dists := make(map[string]DistValue)
+	var dorder []string
+	for _, p := range parts {
+		for _, c := range p.Counters {
+			if _, ok := counters[c.Name]; !ok {
+				corder = append(corder, c.Name)
+			}
+			counters[c.Name] += c.Value
+		}
+		for _, d := range p.Dists {
+			prev, ok := dists[d.Name]
+			if !ok {
+				dorder = append(dorder, d.Name)
+				dists[d.Name] = d
+				continue
+			}
+			if d.Count > 0 {
+				if prev.Count == 0 || d.Min < prev.Min {
+					prev.Min = d.Min
+				}
+				if prev.Count == 0 || d.Max > prev.Max {
+					prev.Max = d.Max
+				}
+				prev.Count += d.Count
+				prev.Sum += d.Sum
+				dists[d.Name] = prev
+			}
+		}
+	}
+	var out Snapshot
+	sort.Strings(corder)
+	for _, name := range corder {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: counters[name]})
+	}
+	sort.Strings(dorder)
+	for _, name := range dorder {
+		out.Dists = append(out.Dists, dists[name])
+	}
+	return out
+}
