@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet bench check
+.PHONY: all build test short race vet bench check baseline baseline-record
 
 all: check
 
@@ -34,5 +34,15 @@ vet:
 # performance" for recorded results.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSuite' -benchtime 1x .
+
+# Metric regression gate: re-run the probes with the committed baseline's
+# recorded seed and diff every metric point (exact for integer ledgers,
+# 1e-9 relative for floats). Fails with a ranked table on any change;
+# re-record with `make baseline-record` when a change is intended.
+baseline:
+	$(GO) run ./cmd/pentiumbench baseline check
+
+baseline-record:
+	$(GO) run ./cmd/pentiumbench baseline record all
 
 check: build vet test race

@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// captureSuite records a small real suite once per test binary.
+func captureSuite(t *testing.T) *File {
+	t.Helper()
+	ids := []string{"T2", "F12"}
+	suite, err := core.NewRunner(2).Observe(core.DefaultConfig(), ids, core.ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromSuite(ids, core.DefaultConfig().Seed, suite)
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	f := captureSuite(t)
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Error("baseline file must end in newline")
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Compare(f, back, 0)
+	if !res.OK() {
+		var b strings.Builder
+		res.WriteTable(&b)
+		t.Fatalf("round-tripped baseline not clean:\n%s", b.String())
+	}
+	if res.Compared == 0 || res.Compared != f.MetricCount() {
+		t.Fatalf("Compared = %d, MetricCount = %d", res.Compared, f.MetricCount())
+	}
+	// Marshal is byte-stable.
+	again, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("baseline marshal not byte-stable across a round trip")
+	}
+}
+
+func TestFreshRunMatchesRecorded(t *testing.T) {
+	a := captureSuite(t)
+	b := captureSuite(t)
+	res := Compare(a, b, 0)
+	if !res.OK() {
+		var tbl strings.Builder
+		res.WriteTable(&tbl)
+		t.Fatalf("two identical deterministic runs differ:\n%s", tbl.String())
+	}
+}
+
+func TestIntegerLedgerChangeFailsExactly(t *testing.T) {
+	base := captureSuite(t)
+	cur := captureSuite(t)
+	// Find an integral counter and nudge it by the smallest amount the
+	// float can represent — exact matching must still catch it.
+	exp := cur.Experiments["T2"]
+	for label, run := range exp.Runs {
+		for i, c := range run.Metrics.Counters {
+			if isIntegral(c.Value) && c.Value > 0 {
+				run.Metrics.Counters[i].Value = c.Value + 1
+				exp.Runs[label] = run
+				res := Compare(base, cur, 0)
+				if res.OK() {
+					t.Fatal("integer ledger change not caught")
+				}
+				v := res.Violations[0]
+				if v.Kind != "changed" || !strings.Contains(v.Metric, c.Name) {
+					t.Fatalf("violation = %+v, want changed %s", v, c.Name)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no integral counter in T2 capture")
+}
+
+func TestFloatDriftTolerance(t *testing.T) {
+	base := &File{Schema: Schema, IDs: []string{"X"}, Experiments: map[string]Experiment{
+		"X": {Runs: map[string]Run{"sys": {Unit: "µs", Total: 100.5}}},
+	}}
+	within := &File{Schema: Schema, IDs: []string{"X"}, Experiments: map[string]Experiment{
+		"X": {Runs: map[string]Run{"sys": {Unit: "µs", Total: 100.5 * (1 + 1e-12)}}},
+	}}
+	if res := Compare(base, within, 1e-9); !res.OK() {
+		t.Fatalf("drift within tolerance flagged: %+v", res.Violations)
+	}
+	beyond := &File{Schema: Schema, IDs: []string{"X"}, Experiments: map[string]Experiment{
+		"X": {Runs: map[string]Run{"sys": {Unit: "µs", Total: 100.5 * 1.02}}},
+	}}
+	res := Compare(base, beyond, 1e-9)
+	if res.OK() {
+		t.Fatal("2% drift not caught")
+	}
+	if res.Violations[0].Kind != "drift" {
+		t.Fatalf("kind = %s, want drift", res.Violations[0].Kind)
+	}
+	// A loose tolerance admits it.
+	if res := Compare(base, beyond, 0.05); !res.OK() {
+		t.Fatalf("5%% tolerance should admit 2%% drift: %+v", res.Violations)
+	}
+}
+
+func TestMissingAndAddedMetrics(t *testing.T) {
+	base := captureSuite(t)
+	cur := captureSuite(t)
+	exp := cur.Experiments["F12"]
+	for label, run := range exp.Runs {
+		run.Metrics.Counters = run.Metrics.Counters[1:] // drop one metric
+		exp.Runs[label] = run
+		break
+	}
+	delete(cur.Experiments, "T2") // drop a whole experiment
+	res := Compare(base, cur, 0)
+	if res.OK() {
+		t.Fatal("missing metrics not caught")
+	}
+	kinds := map[string]int{}
+	for _, v := range res.Violations {
+		kinds[v.Kind]++
+	}
+	if kinds["missing"] == 0 {
+		t.Fatalf("no missing violations: %v", kinds)
+	}
+	// Missing/added rank ahead of everything (Rel = +Inf).
+	if !math.IsInf(res.Violations[0].Rel, 1) {
+		t.Fatalf("worst violation should rank +Inf: %+v", res.Violations[0])
+	}
+}
+
+func TestRankedTableWorstFirst(t *testing.T) {
+	base := &File{Schema: Schema, IDs: []string{"X"}, Experiments: map[string]Experiment{
+		"X": {Runs: map[string]Run{
+			"small": {Unit: "µs", Total: 100.5},
+			"big":   {Unit: "µs", Total: 200.5},
+		}},
+	}}
+	cur := &File{Schema: Schema, IDs: []string{"X"}, Experiments: map[string]Experiment{
+		"X": {Runs: map[string]Run{
+			"small": {Unit: "µs", Total: 100.5 * 1.01}, // 1% drift
+			"big":   {Unit: "µs", Total: 200.5 * 1.50}, // 50% drift
+		}},
+	}}
+	res := Compare(base, cur, 1e-9)
+	if len(res.Violations) != 2 {
+		t.Fatalf("violations = %+v", res.Violations)
+	}
+	if !strings.Contains(res.Violations[0].Metric, "big") {
+		t.Fatalf("worst regression should lead: %+v", res.Violations)
+	}
+	var b strings.Builder
+	if err := res.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "rank") || strings.Index(out, "big") > strings.Index(out, "small") {
+		t.Fatalf("table not ranked worst-first:\n%s", out)
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	for name, data := range map[string]string{
+		"garbage":      "not json",
+		"wrong schema": `{"schema":99,"ids":["T2"],"experiments":{"T2":{"runs":{}}}}`,
+		"empty":        `{"schema":1,"ids":[],"experiments":{}}`,
+		"unlisted id":  `{"schema":1,"ids":["T9"],"experiments":{"T2":{"runs":{}}}}`,
+	} {
+		if _, err := Load([]byte(data)); err == nil {
+			t.Errorf("%s: Load accepted %q", name, data)
+		}
+	}
+}
+
+func TestIsIntegral(t *testing.T) {
+	for v, want := range map[float64]bool{
+		0: true, 3: true, -17: true, 110000: true, 1 << 52: true,
+		2.5: false, 7078.5: false, 1e300: false, math.Pi: false,
+	} {
+		if got := isIntegral(v); got != want {
+			t.Errorf("isIntegral(%v) = %v, want %v", v, got, want)
+		}
+	}
+}

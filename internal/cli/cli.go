@@ -11,6 +11,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"repro/internal/bench"
@@ -65,8 +66,12 @@ func (a *App) Execute(args []string) int {
 	trials := fl.Int("trials", 5, "sensitivity: perturbed replicas")
 	profilesFile := fl.String("profiles", "", "JSON file with extra OS personalities to benchmark")
 	workers := fl.Int("j", 0, "parallel runner workers (0 = GOMAXPROCS, 1 = serial)")
-	procs := fl.Int("procs", 0, "trace/metrics: process count — ring size for the bare timeline (default 3), F1 probe processes (default 8)")
-	format := fl.String("format", "chrome", "trace <ids>: output format, 'chrome' (Perfetto-loadable JSON) or 'text'")
+	procs := fl.Int("procs", 0, "trace/metrics/profile: process count — ring size for the bare timeline (default 3), F1 probe processes (default 8)")
+	format := fl.String("format", "", "trace <ids>: 'chrome' (default; Perfetto-loadable JSON) or 'text'. profile <ids>: 'top' (default), 'folded' or 'pprof'")
+	topN := fl.Int("top", 0, "trace -format=text / profile -format=top: keep only the N heaviest rows per table (0 = all)")
+	outFile := fl.String("o", "", "profile: write output to this file instead of stdout")
+	baseFile := fl.String("baseline", "BENCH_baseline.json", "baseline record/check: the baseline file path")
+	tol := fl.Float64("tol", 0, "baseline check/diff: relative tolerance for non-integer metrics (0 = default 1e-9); integer ledgers always match exactly")
 	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
 	cpuProfile := fl.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
 	memProfile := fl.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
@@ -115,16 +120,35 @@ func (a *App) Execute(args []string) int {
 		return 2
 	}
 	runner := core.NewRunner(*workers)
+	opts := cmdOpts{
+		showStats: *showStats, outDir: *outDir, eps: *eps, trials: *trials,
+		procs: *procs, format: *format, top: *topN, out: *outFile,
+		baseline: *baseFile, tol: *tol,
+	}
 	return a.profiled(*cpuProfile, *memProfile, func() int {
-		return a.dispatch(fl, cfg, runner, *showStats, *outDir, *eps, *trials,
-			*procs, *format, rest)
+		return a.dispatch(fl, cfg, runner, opts, rest)
 	})
+}
+
+// cmdOpts bundles the per-subcommand flag values for dispatch.
+type cmdOpts struct {
+	showStats bool
+	outDir    string
+	eps       float64
+	trials    int
+	procs     int
+	format    string
+	top       int
+	out       string
+	baseline  string
+	tol       float64
 }
 
 // dispatch routes a parsed command line to its subcommand.
 func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
-	showStats bool, outDir string, eps float64, trials int,
-	procs int, format string, rest []string) int {
+	o cmdOpts, rest []string) int {
+	showStats, outDir, eps, trials := o.showStats, o.outDir, o.eps, o.trials
+	procs, format := o.procs, o.format
 	switch rest[0] {
 	case "list":
 		a.list()
@@ -152,9 +176,15 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 		a.latency(cfg)
 		return 0
 	case "trace":
-		return a.trace(cfg, runner, rest[1:], procs, format)
+		return a.trace(cfg, runner, rest[1:], procs, format, o.top)
 	case "metrics":
 		return a.metrics(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs})
+	case "profile":
+		return a.profileCmd(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs},
+			format, o.top, o.out)
+	case "baseline":
+		return a.baseline(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs},
+			o.baseline, o.tol)
 	case "notes":
 		a.notes()
 		return 0
@@ -239,10 +269,24 @@ commands:
                   run the observability probes and export their span
                   streams — -format=chrome (default) writes Chrome
                   trace-event JSON to stdout for Perfetto or
-                  chrome://tracing, -format=text a per-run summary
+                  chrome://tracing, -format=text a per-run summary with
+                  tracks ranked by cumulative virtual time (-top limits it)
   metrics <ids|all>  per-phase cycle-attribution tables for the probes:
                   where each run's modelled time went (phases sum to the
                   total); -procs sets the F1 process count
+  profile <ids|all>  fold the probes' span streams into a virtual-time
+                  profile (exact, deterministic — no sampling):
+                  -format=top (default) prints flat/cum tables per track,
+                  -format=folded emits flamegraph.pl/inferno folded
+                  stacks, -format=pprof a 'go tool pprof'-compatible
+                  profile; -o writes to a file, -top truncates tables
+  baseline record [ids|all]   record the probes' canonical metric
+                  snapshot to -baseline (default BENCH_baseline.json)
+  baseline check  re-run with the baseline's recorded seed and ids and
+                  diff: exact match for integer ledgers, -tol relative
+                  tolerance for floats; nonzero exit + ranked regression
+                  table on any violation
+  baseline diff <a.json> <b.json>   diff two recorded baseline files
   profiles        dump the built-in OS personalities as JSON (a template
                   for -profiles)
   notes           the paper's §11 installation/porting observations
@@ -483,10 +527,12 @@ func (a *App) latency(cfg core.Config) {
 // trace without a selector prints the annotated kernel timeline of one
 // token-ring lap per system — §5's cost decomposition, visible event by
 // event. With experiment ids it runs the observability probes and
-// exports their span streams: -format=chrome emits Chrome trace-event
-// JSON on stdout (load it in Perfetto or chrome://tracing), -format=text
-// a per-run summary.
-func (a *App) trace(cfg core.Config, runner *core.Runner, ids []string, procs int, format string) int {
+// exports their span streams: -format=chrome (the default) emits Chrome
+// trace-event JSON on stdout (load it in Perfetto or chrome://tracing),
+// -format=text a per-run summary with the tracks ranked by cumulative
+// virtual time (-top limits the ranking).
+func (a *App) trace(cfg core.Config, runner *core.Runner, ids []string, procs int,
+	format string, top int) int {
 	if len(ids) == 0 {
 		return a.traceTimeline(cfg, procs)
 	}
@@ -495,34 +541,67 @@ func (a *App) trace(cfg core.Config, runner *core.Runner, ids []string, procs in
 		return code
 	}
 	switch format {
-	case "chrome":
+	case "chrome", "":
 		if err := obs.WriteChrome(a.Stdout, suite.Processes); err != nil {
 			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
 			return 1
 		}
 	case "text":
-		for oi, o := range suite.Observations {
-			if oi > 0 {
-				fmt.Fprintln(a.Stdout)
-			}
-			fmt.Fprintf(a.Stdout, "%s — %s:\n", o.ID, o.Title)
-			for _, run := range o.Runs {
-				spans := 0
-				for _, e := range run.Process.Events {
-					if e.Kind == obs.EvBegin {
-						spans++
-					}
-				}
-				fmt.Fprintf(a.Stdout, "  %-24s %d tracks, %d events (%d spans), total %.2f %s\n",
-					run.Label, len(run.Process.Tracks), len(run.Process.Events),
-					spans, run.Total, run.Unit)
-			}
-		}
+		a.traceText(suite, top)
 	default:
 		fmt.Fprintf(a.Stderr, "pentiumbench: unknown trace format %q (want chrome or text)\n", format)
 		return 2
 	}
 	return 0
+}
+
+// traceText renders the per-run trace summaries: one line per run, then
+// its tracks ranked by cumulative virtual time from the run's folded
+// profile. top > 0 keeps only the heaviest tracks; ring-buffer drops are
+// surfaced so a truncated capture is never mistaken for a complete one.
+func (a *App) traceText(suite *core.SuiteObservation, top int) {
+	for oi, o := range suite.Observations {
+		if oi > 0 {
+			fmt.Fprintln(a.Stdout)
+		}
+		fmt.Fprintf(a.Stdout, "%s — %s:\n", o.ID, o.Title)
+		for _, run := range o.Runs {
+			spans := 0
+			for _, e := range run.Process.Events {
+				if e.Kind == obs.EvBegin {
+					spans++
+				}
+			}
+			fmt.Fprintf(a.Stdout, "  %-24s %d tracks, %d events (%d spans), total %.2f %s",
+				run.Label, len(run.Process.Tracks), len(run.Process.Events),
+				spans, run.Total, run.Unit)
+			if run.Process.Dropped > 0 {
+				fmt.Fprintf(a.Stdout, "  [%d events ring-dropped]", run.Process.Dropped)
+			}
+			fmt.Fprintln(a.Stdout)
+			if run.Profile == nil {
+				continue
+			}
+			tracks := run.Profile.TrackTotals()
+			sort.SliceStable(tracks, func(i, j int) bool {
+				if tracks[i].TotalNs != tracks[j].TotalNs {
+					return tracks[i].TotalNs > tracks[j].TotalNs
+				}
+				return tracks[i].Track < tracks[j].Track
+			})
+			shown := tracks
+			if top > 0 && len(shown) > top {
+				shown = shown[:top]
+			}
+			for _, tt := range shown {
+				fmt.Fprintf(a.Stdout, "    %-22s %12d ns over %d spans\n",
+					tt.Track, tt.TotalNs, tt.Spans)
+			}
+			if len(shown) < len(tracks) {
+				fmt.Fprintf(a.Stdout, "    (%d more tracks)\n", len(tracks)-len(shown))
+			}
+		}
+	}
 }
 
 // traceTimeline is the bare `trace` command: one annotated token-ring

@@ -12,6 +12,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/obs"
 	"repro/internal/osprofile"
+	"repro/internal/profile"
 )
 
 // PhaseRow is one attribution row of a metrics table: a named phase and
@@ -38,6 +39,10 @@ type ObservedRun struct {
 	Process obs.Process
 	// Metrics is the run's full metric snapshot.
 	Metrics obs.Snapshot
+	// Profile is the run's span stream folded into weighted call stacks
+	// (virtual nanoseconds; DESIGN.md §10). Folding happens inside the
+	// probe task, so parallel suites profile in parallel too.
+	Profile *profile.Profile
 }
 
 // Observation is the observability product of one experiment probe.
@@ -158,6 +163,7 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 			Process: obs.Process{Name: "Pentium P54C-100"},
 			Metrics: reg.Snapshot(),
 		})
+		out.foldProfiles()
 		return out, nil
 	}
 
@@ -195,7 +201,17 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 	default:
 		return nil, fmt.Errorf("core: no observability probe for %q (have %v)", id, ObservableIDs())
 	}
+	out.foldProfiles()
 	return out, nil
+}
+
+// foldProfiles folds each run's span stream. Called once per probe,
+// after the runs exist; per-run folding keeps the work inside the
+// parallel task.
+func (o *Observation) foldProfiles() {
+	for i := range o.Runs {
+		o.Runs[i].Profile = profile.Fold(o.Runs[i].Process)
+	}
 }
 
 // FoldMetrics adds the run's statistics — pool shape, job counts, memo
@@ -223,15 +239,20 @@ func (st *RunStats) FoldMetrics(reg *obs.Registry, prefix string) {
 }
 
 // SuiteObservation is the product of Runner.Observe: per-experiment
-// observations, all trace processes in deterministic order, and one
-// merged metric snapshot. Everything except the "runner." self-metrics
-// (real wall-clock, inherently nondeterministic) is bit-identical at
-// every worker count; strip them with Metrics.ExcludePrefix("runner.")
-// when comparing.
+// observations, all trace processes in deterministic order, one
+// merged metric snapshot, and the merged virtual-time profile.
+// Everything except the "runner." self-metrics (real wall-clock,
+// inherently nondeterministic) is bit-identical at every worker count;
+// strip them with Metrics.ExcludePrefix("runner.") when comparing.
 type SuiteObservation struct {
 	Observations []*Observation
 	Processes    []obs.Process
 	Metrics      obs.Snapshot
+	// Profile merges every run's folded profile in input order. Its
+	// exports (folded, pprof, top) are byte-identical at every worker
+	// count: per-run folds happen in the probe tasks, the merge walks
+	// runs in input order, and the export order is canonical.
+	Profile *profile.Profile
 }
 
 // Observe runs the probes for the given experiment IDs on the worker
@@ -274,12 +295,13 @@ func (r *Runner) Observe(cfg Config, ids []string, opts ObserveOpts) (*SuiteObse
 		}
 	}
 
-	suite := &SuiteObservation{Observations: obsv}
+	suite := &SuiteObservation{Observations: obsv, Profile: profile.New()}
 	var parts []obs.Snapshot
 	for _, o := range obsv {
 		for _, run := range o.Runs {
 			parts = append(parts, run.Metrics)
 			suite.Processes = append(suite.Processes, run.Process)
+			suite.Profile.Merge(run.Profile)
 		}
 	}
 	merged := obs.MergeSnapshots(parts...)

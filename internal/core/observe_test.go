@@ -185,3 +185,57 @@ func TestRunStatsFoldMetrics(t *testing.T) {
 		}
 	}
 }
+
+// profileBytes renders every profile export of a suite, concatenated.
+func profileBytes(t *testing.T, s *SuiteObservation) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.Profile.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Profile.WriteTop(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Profile.WritePprof(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestSuiteProfileDeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	ids := ObservableIDs()
+	s1, err := NewRunner(1).Observe(cfg, ids, ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := NewRunner(8).Observe(cfg, ids, ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Profile.TotalNs() == 0 {
+		t.Fatal("suite profile is empty")
+	}
+	if !bytes.Equal(profileBytes(t, s1), profileBytes(t, s8)) {
+		t.Fatal("profile exports differ between -j 1 and -j 8")
+	}
+}
+
+func TestSuiteProfileMergesRunFolds(t *testing.T) {
+	s, err := NewRunner(2).Observe(DefaultConfig(), []string{"T2", "F12"}, ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, o := range s.Observations {
+		for _, run := range o.Runs {
+			if run.Profile == nil {
+				t.Fatalf("%s/%s: run profile not folded", o.ID, run.Label)
+			}
+			want += run.Profile.TotalNs()
+		}
+	}
+	if got := s.Profile.TotalNs(); got != want {
+		t.Fatalf("suite profile total %d != sum of run profiles %d", got, want)
+	}
+}

@@ -92,6 +92,9 @@ type Recorder struct {
 	// (head marks the oldest); 0 keeps everything.
 	limit int
 	head  int
+	// dropped counts events overwritten by the ring bound, so consumers
+	// can tell a truncated capture from a complete one.
+	dropped int
 }
 
 // NewRecorder returns an unbounded recorder stamping events from clock.
@@ -155,6 +158,7 @@ func (r *Recorder) now() sim.Time {
 // record appends one event, honouring the ring bound.
 func (r *Recorder) record(e Event) {
 	if r.limit > 0 && len(r.events) == r.limit {
+		r.dropped++
 		r.events[r.head] = e
 		r.head++
 		if r.head == r.limit {
@@ -228,6 +232,17 @@ func (r *Recorder) Instantf(track TrackID, name string, pid int, format string, 
 	r.record(Event{When: r.now(), Track: track, Kind: EvInstant, Name: name, PID: pid, Detail: detail})
 }
 
+// Dropped returns the number of events overwritten by the ring bound
+// since the recorder was created (or last Reset). A nonzero count means
+// the captured stream is the tail of a longer run — profiles and trace
+// summaries built from it are truncated, not complete.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
 // Len returns the number of buffered events.
 func (r *Recorder) Len() int {
 	if r == nil {
@@ -255,6 +270,7 @@ func (r *Recorder) Reset() {
 	}
 	r.events = r.events[:0]
 	r.head = 0
+	r.dropped = 0
 }
 
 // Process couples one model run's trace with a display name, for export:
@@ -267,9 +283,12 @@ type Process struct {
 	Tracks []string
 	// Events is the event stream in record order.
 	Events []Event
+	// Dropped is the number of older events the recorder's ring bound
+	// overwrote before the capture: nonzero means Events is a tail.
+	Dropped int
 }
 
 // Capture snapshots a recorder into an exportable Process.
 func (r *Recorder) Capture(name string) Process {
-	return Process{Name: name, Tracks: r.Tracks(), Events: r.Events()}
+	return Process{Name: name, Tracks: r.Tracks(), Events: r.Events(), Dropped: r.Dropped()}
 }

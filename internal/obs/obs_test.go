@@ -79,6 +79,47 @@ func TestRingDropsOldest(t *testing.T) {
 	if ev[0].When >= ev[1].When || ev[1].When >= ev[2].When {
 		t.Errorf("ring events out of time order: %v", ev)
 	}
+	if rec.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", rec.Dropped())
+	}
+	if p := rec.Capture("p"); p.Dropped != 2 {
+		t.Errorf("Capture Dropped = %d, want 2", p.Dropped)
+	}
+}
+
+func TestDroppedZeroWhenComplete(t *testing.T) {
+	rec := NewRing(nil, 8)
+	for i := 0; i < 8; i++ {
+		rec.InstantAt(sim.Time(i), 0, "ev", 0, "")
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before the ring wraps, want 0", rec.Dropped())
+	}
+	var unbounded *Recorder
+	if unbounded.Dropped() != 0 {
+		t.Fatal("nil recorder must report 0 dropped")
+	}
+	full := NewRecorder(nil)
+	for i := 0; i < 100; i++ {
+		full.InstantAt(sim.Time(i), 0, "ev", 0, "")
+	}
+	if full.Dropped() != 0 {
+		t.Fatal("unbounded recorder must never drop")
+	}
+}
+
+func TestDroppedResets(t *testing.T) {
+	rec := NewRing(nil, 2)
+	for i := 0; i < 5; i++ {
+		rec.InstantAt(sim.Time(i), 0, "ev", 0, "")
+	}
+	if rec.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", rec.Dropped())
+	}
+	rec.Reset()
+	if rec.Dropped() != 0 {
+		t.Fatalf("Dropped after Reset = %d, want 0", rec.Dropped())
+	}
 }
 
 func TestRingLimitPanics(t *testing.T) {

@@ -1,0 +1,158 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteFolded emits the profile in Brendan Gregg's folded-stack format,
+// one line per unique stack:
+//
+//	Linux 1.2.8;kernel;syscall;copy 10600
+//
+// Frames are joined root-first with ';' and the weight is the stack's
+// self time in integer virtual nanoseconds, so the output feeds
+// flamegraph.pl / inferno / speedscope unchanged. Lines are sorted by
+// stack, making the bytes independent of fold and merge order.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range p.sorted() {
+		if _, err := bw.WriteString(strings.Join(s.Stack, stackSep)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(' '); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(strconv.FormatInt(s.SelfNs, 10)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// frameRow is one row of a flat/cumulative table.
+type frameRow struct {
+	name      string
+	flat, cum int64
+	count     int64
+}
+
+// WriteTop renders per-track flat/cumulative attribution tables, the
+// `pentiumbench profile -format=top` view. For every (process, track)
+// timeline — ordered by process then track — it prints the frames
+// ranked by flat (self) time, with cumulative time and percentages of
+// the track total. topN > 0 truncates each table to its heaviest N
+// rows (a truncation note keeps the cut visible); 0 keeps every row.
+func (p *Profile) WriteTop(w io.Writer, topN int) error {
+	bw := bufio.NewWriter(w)
+	samples := p.sorted()
+	first := true
+	for _, tt := range p.TrackTotals() {
+		// Flat: self weight per frame name where it is the leaf.
+		// Cum: sample weight per frame name appearing anywhere in the
+		// stack below the track (counted once per sample).
+		rows := map[string]*frameRow{}
+		for _, s := range samples {
+			if len(s.Stack) < 3 || s.Stack[0] != tt.Process || s.Stack[1] != tt.Track {
+				continue
+			}
+			frames := s.Stack[2:]
+			leaf := frames[len(frames)-1]
+			seen := map[string]bool{}
+			for _, f := range frames {
+				if seen[f] {
+					continue
+				}
+				seen[f] = true
+				r := rows[f]
+				if r == nil {
+					r = &frameRow{name: f}
+					rows[f] = r
+				}
+				r.cum += s.SelfNs
+				// Descendant self time folds into cum via the other
+				// samples sharing this prefix frame.
+			}
+			r := rows[leaf]
+			r.flat += s.SelfNs
+			r.count += s.Count
+		}
+		// Cum as computed above only counts each sample's self weight
+		// for every frame on its stack — which is exactly inclusive
+		// time, since descendants' samples repeat the ancestor frames.
+		ordered := make([]*frameRow, 0, len(rows))
+		for _, r := range rows {
+			ordered = append(ordered, r)
+		}
+		sort.Slice(ordered, func(i, j int) bool {
+			if ordered[i].flat != ordered[j].flat {
+				return ordered[i].flat > ordered[j].flat
+			}
+			if ordered[i].cum != ordered[j].cum {
+				return ordered[i].cum > ordered[j].cum
+			}
+			return ordered[i].name < ordered[j].name
+		})
+		if !first {
+			fmt.Fprintln(bw)
+		}
+		first = false
+		fmt.Fprintf(bw, "%s — %s: %s over %d spans\n",
+			tt.Process, tt.Track, fmtNs(tt.TotalNs), tt.Spans)
+		fmt.Fprintf(bw, "  %12s %7s %12s %7s %8s  %s\n",
+			"flat", "flat%", "cum", "cum%", "spans", "frame")
+		shown := ordered
+		if topN > 0 && len(shown) > topN {
+			shown = shown[:topN]
+		}
+		for _, r := range shown {
+			fmt.Fprintf(bw, "  %12s %6.2f%% %12s %6.2f%% %8d  %s\n",
+				fmtNs(r.flat), pct(r.flat, tt.TotalNs),
+				fmtNs(r.cum), pct(r.cum, tt.TotalNs), r.count, r.name)
+		}
+		if len(shown) < len(ordered) {
+			var restFlat int64
+			for _, r := range ordered[len(shown):] {
+				restFlat += r.flat
+			}
+			fmt.Fprintf(bw, "  %12s %6.2f%% %12s %7s %8s  (%d more frames)\n",
+				fmtNs(restFlat), pct(restFlat, tt.TotalNs), "", "", "",
+				len(ordered)-len(shown))
+		}
+	}
+	if p.truncated > 0 || p.dropped > 0 {
+		fmt.Fprintf(bw, "\ntruncated capture: %d events ring-dropped, %d spans folded incompletely\n",
+			p.dropped, p.truncated)
+	}
+	return bw.Flush()
+}
+
+// pct returns 100*a/b, 0 when b is 0.
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// fmtNs renders integer virtual nanoseconds with a readable unit while
+// staying deterministic (fixed two-decimal scaling, no rounding modes
+// beyond fmt's).
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}

@@ -1,0 +1,283 @@
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// miniProfile is the subset of the pprof format the decoder below
+// understands — enough to verify the encoder emits well-formed,
+// semantically correct protobuf without depending on pprof itself.
+type miniProfile struct {
+	sampleTypes [][2]int64 // (type, unit) string indices
+	samples     []miniSample
+	locations   map[uint64]uint64 // location id -> function id
+	functions   map[uint64]int64  // function id -> name string index
+	strings     []string
+	duration    int64
+	defaultType int64
+}
+
+type miniSample struct {
+	locs   []uint64
+	values []int64
+}
+
+// readUvarint decodes one base-128 varint.
+func readUvarint(b []byte, at int) (uint64, int, error) {
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		if at >= len(b) {
+			return 0, 0, fmt.Errorf("truncated varint at %d", at)
+		}
+		c := b[at]
+		at++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, at, nil
+		}
+	}
+}
+
+// fields iterates the (field, wire, payload) triples of a message.
+func fields(b []byte, f func(field int, varint uint64, payload []byte) error) error {
+	at := 0
+	for at < len(b) {
+		key, next, err := readUvarint(b, at)
+		if err != nil {
+			return err
+		}
+		at = next
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, next, err := readUvarint(b, at)
+			if err != nil {
+				return err
+			}
+			at = next
+			if err := f(field, v, nil); err != nil {
+				return err
+			}
+		case 2:
+			n, next, err := readUvarint(b, at)
+			if err != nil {
+				return err
+			}
+			at = next
+			if at+int(n) > len(b) {
+				return fmt.Errorf("field %d overruns buffer", field)
+			}
+			if err := f(field, 0, b[at:at+int(n)]); err != nil {
+				return err
+			}
+			at += int(n)
+		default:
+			return fmt.Errorf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+// packedUvarints decodes a packed repeated varint payload.
+func packedUvarints(b []byte) ([]uint64, error) {
+	var out []uint64
+	at := 0
+	for at < len(b) {
+		v, next, err := readUvarint(b, at)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		at = next
+	}
+	return out, nil
+}
+
+func decodeMini(t *testing.T, b []byte) *miniProfile {
+	t.Helper()
+	p := &miniProfile{locations: map[uint64]uint64{}, functions: map[uint64]int64{}}
+	err := fields(b, func(field int, varint uint64, payload []byte) error {
+		switch field {
+		case 1: // ValueType
+			var vt [2]int64
+			if err := fields(payload, func(f int, v uint64, _ []byte) error {
+				if f == 1 {
+					vt[0] = int64(v)
+				}
+				if f == 2 {
+					vt[1] = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.sampleTypes = append(p.sampleTypes, vt)
+		case 2: // Sample
+			var s miniSample
+			if err := fields(payload, func(f int, _ uint64, pl []byte) error {
+				vals, err := packedUvarints(pl)
+				if err != nil {
+					return err
+				}
+				if f == 1 {
+					s.locs = vals
+				}
+				if f == 2 {
+					for _, v := range vals {
+						s.values = append(s.values, int64(v))
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // Location
+			var id, fn uint64
+			if err := fields(payload, func(f int, v uint64, pl []byte) error {
+				if f == 1 {
+					id = v
+				}
+				if f == 4 { // Line
+					return fields(pl, func(lf int, lv uint64, _ []byte) error {
+						if lf == 1 {
+							fn = lv
+						}
+						return nil
+					})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.locations[id] = fn
+		case 5: // Function
+			var id uint64
+			var name int64
+			if err := fields(payload, func(f int, v uint64, _ []byte) error {
+				if f == 1 {
+					id = v
+				}
+				if f == 2 {
+					name = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.functions[id] = name
+		case 6: // string_table
+			p.strings = append(p.strings, string(payload))
+		case 10:
+			p.duration = int64(varint)
+		case 14:
+			p.defaultType = int64(varint)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("pprof decode: %v", err)
+	}
+	return p
+}
+
+func TestWritePprofWellFormed(t *testing.T) {
+	prof := Fold(buildProcess("Linux 1.2.8"))
+	var buf bytes.Buffer
+	if err := prof.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mp := decodeMini(t, buf.Bytes())
+
+	if len(mp.strings) == 0 || mp.strings[0] != "" {
+		t.Fatal("string table must start with the empty string")
+	}
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(mp.strings) {
+			t.Fatalf("string index %d out of range", i)
+		}
+		return mp.strings[i]
+	}
+	if len(mp.sampleTypes) != 2 {
+		t.Fatalf("sample types = %v", mp.sampleTypes)
+	}
+	if str(mp.sampleTypes[0][0]) != "spans" || str(mp.sampleTypes[0][1]) != "count" {
+		t.Errorf("sample type 0 = %s/%s", str(mp.sampleTypes[0][0]), str(mp.sampleTypes[0][1]))
+	}
+	if str(mp.sampleTypes[1][0]) != "virtualtime" || str(mp.sampleTypes[1][1]) != "nanoseconds" {
+		t.Errorf("sample type 1 = %s/%s", str(mp.sampleTypes[1][0]), str(mp.sampleTypes[1][1]))
+	}
+	if str(mp.defaultType) != "virtualtime" {
+		t.Errorf("default sample type = %s", str(mp.defaultType))
+	}
+
+	// One sample per folded stack, values summing to the fold's totals.
+	samples := prof.Samples()
+	if len(mp.samples) != len(samples) {
+		t.Fatalf("%d pprof samples, want %d", len(mp.samples), len(samples))
+	}
+	var wantNs, gotNs, wantCount, gotCount int64
+	for _, s := range samples {
+		wantNs += s.SelfNs
+		wantCount += s.Count
+	}
+	for _, s := range mp.samples {
+		if len(s.values) != 2 {
+			t.Fatalf("sample values = %v, want 2 entries", s.values)
+		}
+		gotCount += s.values[0]
+		gotNs += s.values[1]
+	}
+	if gotNs != wantNs || gotCount != wantCount {
+		t.Fatalf("pprof totals ns=%d count=%d, want ns=%d count=%d", gotNs, gotCount, wantNs, wantCount)
+	}
+	if mp.duration != prof.TotalNs() {
+		t.Errorf("duration_nanos = %d, want %d", mp.duration, prof.TotalNs())
+	}
+
+	// Every location resolves to a named function, and stacks are
+	// leaf-first: the deepest stack's first location is its leaf frame.
+	for id, fn := range mp.locations {
+		name, ok := mp.functions[fn]
+		if !ok {
+			t.Fatalf("location %d references unknown function %d", id, fn)
+		}
+		if str(name) == "" {
+			t.Fatalf("function %d has empty name", fn)
+		}
+	}
+	// Find the pprof sample matching the inner stack and check order.
+	wantLeafFirst := []string{"inner", "outer", "kernel", "Linux 1.2.8"}
+	found := false
+	for _, s := range mp.samples {
+		if len(s.locs) != len(wantLeafFirst) {
+			continue
+		}
+		match := true
+		for i, id := range s.locs {
+			if str(mp.functions[mp.locations[id]]) != wantLeafFirst[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no leaf-first sample %v found", wantLeafFirst)
+	}
+}
+
+func TestWritePprofEmptyProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mp := decodeMini(t, buf.Bytes())
+	if len(mp.samples) != 0 || len(mp.strings) == 0 {
+		t.Fatalf("empty profile decoded to %+v", mp)
+	}
+}
