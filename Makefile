@@ -21,10 +21,12 @@ short:
 	$(GO) test -short ./...
 
 # Certifies the parallel runner race-free (the determinism regression test
-# in internal/core runs the whole suite on an 8-worker pool) and runs the
-# cache fast-path differential tests under the race detector.
+# in internal/core runs the whole suite on an 8-worker pool), the cache
+# fast-path differential tests, and the fault-injection layer — including
+# the CLI regression that a faulted `faults` report is byte-identical at
+# -j 1 and -j 8 — under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/...
+	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/fault/... ./internal/cli/...
 
 vet:
 	$(GO) vet ./...

@@ -18,6 +18,13 @@ import (
 	"repro/internal/sim"
 )
 
+func mustServer(s *nfs.Server, err error) *nfs.Server {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func main() {
 	clients := osprofile.Paper()
 	servers := []struct {
@@ -28,10 +35,10 @@ func main() {
 		{"SunOS 4.1.4", func() *nfs.Server { return bench.NewNFSServer(bench.ServerSunOS, 7) }},
 		// The combinations the paper could not run:
 		{"FreeBSD 2.0.5R", func() *nfs.Server {
-			return nfs.NewServer(osprofile.FreeBSD205(), disk.QuantumEmpire2100(), 7)
+			return mustServer(nfs.NewServer(osprofile.FreeBSD205(), disk.QuantumEmpire2100(), 7))
 		}},
 		{"Solaris 2.4", func() *nfs.Server {
-			return nfs.NewServer(osprofile.Solaris24(), disk.QuantumEmpire2100(), 7)
+			return mustServer(nfs.NewServer(osprofile.Solaris24(), disk.QuantumEmpire2100(), 7))
 		}},
 	}
 

@@ -51,11 +51,14 @@ func isIntegral(v float64) bool {
 	return v == math.Trunc(v) && math.Abs(v) < 1<<53
 }
 
-// relDelta returns |cur-base| scaled by the larger magnitude.
+// isFinite reports whether v is an ordinary number (not NaN, not ±Inf).
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// relDelta returns |cur-base| scaled by the larger magnitude. Both
+// inputs are finite and unequal when this is called, so the scale is
+// nonzero (a 0 vs 0 pair already matched exactly) and the zero-recorded
+// case (0 → ε) yields rel = 1 rather than a division by zero.
 func relDelta(base, cur float64) float64 {
-	if base == cur {
-		return 0
-	}
 	scale := math.Max(math.Abs(base), math.Abs(cur))
 	if scale == 0 {
 		return 0
@@ -67,7 +70,15 @@ func relDelta(base, cur float64) float64 {
 // values must match exactly; floats get the relative tolerance.
 func (r *Result) compare(path string, base, cur, tol float64) {
 	r.Compared++
-	if base == cur {
+	if base == cur || (math.IsNaN(base) && math.IsNaN(cur)) {
+		return
+	}
+	// One side NaN or Inf poisons relDelta into NaN, and NaN > tol is
+	// false for every tolerance — without this branch such a change
+	// would pass silently. A non-finite value appearing (or healing) is
+	// always a hard violation, ranked with the missing/added ones.
+	if !isFinite(base) || !isFinite(cur) {
+		r.Violations = append(r.Violations, Violation{Metric: path, Kind: "changed", Base: base, Cur: cur, Rel: math.Inf(1)})
 		return
 	}
 	rel := relDelta(base, cur)

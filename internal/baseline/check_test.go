@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// snapOf builds a snapshot from name/value pairs (names pre-sorted).
+func snapOf(pairs ...interface{}) obs.Snapshot {
+	var s obs.Snapshot
+	for i := 0; i < len(pairs); i += 2 {
+		s.Counters = append(s.Counters, obs.CounterValue{
+			Name: pairs[i].(string), Value: pairs[i+1].(float64),
+		})
+	}
+	return s
+}
+
+// TestCompareScalarEdgeCases locks the matching rule down at its
+// boundaries: zero-recorded values, sign flips, and the non-finite
+// inputs that used to poison the relative delta into a NaN that no
+// tolerance could catch (NaN > tol is false for every tol).
+func TestCompareScalarEdgeCases(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name      string
+		base, cur float64
+		tol       float64
+		wantKind  string // "" = must pass
+		wantRel   float64
+	}{
+		{"equal zero", 0, 0, 1e-9, "", 0},
+		{"pos and neg zero", 0, math.Copysign(0, -1), 1e-9, "", 0},
+		// A zero recorded value is integral, so any change is exact-match
+		// "changed"; the relative delta must be 1, not a division by zero.
+		{"zero to epsilon", 0, 1e-12, 1e-9, "changed", 1},
+		{"epsilon vanishes", 0.5, 0, 1e-9, "drift", 1},
+		// Sign flips are full-magnitude changes however small the values.
+		{"sign flip float", 0.25, -0.25, 1e-9, "drift", 2},
+		{"sign flip integer", 5, -5, 1e-9, "changed", 2},
+		// Identical NaNs reproduce the same (broken) computation — equal.
+		{"both NaN", nan, nan, 1e-9, "", 0},
+		{"NaN appears", 1.5, nan, 1e-9, "changed", inf},
+		{"NaN heals", nan, 1.5, 1e-9, "changed", inf},
+		{"NaN vs Inf", nan, inf, 1e-9, "changed", inf},
+		{"both +Inf", inf, inf, 1e-9, "", 0},
+		{"Inf appears", 2.5, inf, 1e-9, "changed", inf},
+		{"Inf heals", inf, 2.5, 1e-9, "changed", inf},
+		{"Inf flips sign", inf, math.Inf(-1), 1e-9, "changed", inf},
+		// The ordinary rules still hold around them.
+		{"drift above tol", 1.5, 1.5 * (1 + 1e-6), 1e-9, "drift", 1e-6},
+		{"drift within tol", 1.5, 1.5 * (1 + 1e-12), 1e-9, "", 0},
+		{"integer changed", 7, 8, 1e-9, "changed", 0.125},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := &Result{}
+			res.compare("m", tc.base, tc.cur, tc.tol)
+			if res.Compared != 1 {
+				t.Fatalf("Compared = %d, want 1", res.Compared)
+			}
+			if tc.wantKind == "" {
+				if len(res.Violations) != 0 {
+					t.Fatalf("compare(%v, %v) flagged %+v, want pass", tc.base, tc.cur, res.Violations[0])
+				}
+				return
+			}
+			if len(res.Violations) != 1 {
+				t.Fatalf("compare(%v, %v) passed, want %q violation", tc.base, tc.cur, tc.wantKind)
+			}
+			v := res.Violations[0]
+			if v.Kind != tc.wantKind {
+				t.Errorf("Kind = %q, want %q", v.Kind, tc.wantKind)
+			}
+			if math.IsNaN(v.Rel) {
+				t.Fatalf("Rel is NaN; the ranking sort cannot order it")
+			}
+			if relErr := math.Abs(v.Rel - tc.wantRel); math.IsInf(tc.wantRel, 1) != math.IsInf(v.Rel, 1) ||
+				(!math.IsInf(tc.wantRel, 1) && relErr > 1e-9) {
+				t.Errorf("Rel = %v, want %v", v.Rel, tc.wantRel)
+			}
+		})
+	}
+}
+
+// TestCompareNonFiniteRankFirst checks that a NaN violation outranks any
+// finite drift in the regression table.
+func TestCompareNonFiniteRankFirst(t *testing.T) {
+	base := &File{Experiments: map[string]Experiment{
+		"E": {Runs: map[string]Run{
+			"sys": {Unit: "µs", Total: 10, Metrics: snapOf(
+				"a.big_drift", 1.5,
+				"b.poisoned", 2.5,
+			)},
+		}},
+	}}
+	cur := &File{Experiments: map[string]Experiment{
+		"E": {Runs: map[string]Run{
+			"sys": {Unit: "µs", Total: 10, Metrics: snapOf(
+				"a.big_drift", 3.0,
+				"b.poisoned", math.NaN(),
+			)},
+		}},
+	}}
+	res := Compare(base, cur, 1e-9)
+	if len(res.Violations) != 2 {
+		t.Fatalf("got %d violations, want 2: %+v", len(res.Violations), res.Violations)
+	}
+	if got := res.Violations[0].Metric; got != "E / sys / b.poisoned" {
+		t.Errorf("worst violation is %q, want the NaN poisoning first", got)
+	}
+}

@@ -31,7 +31,7 @@ type Platform struct {
 func PaperPlatform() Platform {
 	return Platform{
 		CPU:  cpu.PentiumP54C100(),
-		Disk: func(rng *sim.RNG) *disk.Disk { return disk.New(disk.HP3725(), rng) },
+		Disk: func(rng *sim.RNG) *disk.Disk { return disk.MustNew(disk.HP3725(), rng) },
 	}
 }
 
@@ -42,7 +42,7 @@ const GetpidIterations = 100_000
 // Getpid measures the mean time of one getpid() call over the benchmark's
 // loop, per §4.
 func Getpid(plat Platform, p *osprofile.Profile) sim.Duration {
-	return getpidOn(kernel.NewMachine(plat.CPU, p, sim.NewRNG(0)))
+	return getpidOn(kernel.MustMachine(plat.CPU, p, sim.NewRNG(0)))
 }
 
 // getpidOn runs the getpid loop on a prepared machine (possibly observed).
@@ -83,7 +83,7 @@ func Ctx(plat Platform, p *osprofile.Profile, nproc int, order CtxOrder) sim.Dur
 	if nproc < 2 {
 		panic("bench: ctx needs at least two processes")
 	}
-	return ctxOn(kernel.NewMachine(plat.CPU, p, sim.NewRNG(0)), nproc, order)
+	return ctxOn(kernel.MustMachine(plat.CPU, p, sim.NewRNG(0)), nproc, order)
 }
 
 // ctxOn runs the ctx benchmark on a prepared machine (possibly observed).

@@ -44,7 +44,7 @@ func BonnieWithCache(plat Platform, p *osprofile.Profile, fileMB int, seed uint6
 	clock := &sim.Clock{}
 	rng := sim.NewRNG(seed)
 	d := plat.Disk(rng.Fork(1))
-	fsys := fs.New(clock, d, p)
+	fsys := fs.MustNew(clock, d, p)
 	if cacheBudget > 0 {
 		fsys.SetCacheBudget(cacheBudget)
 	}

@@ -22,7 +22,7 @@ func Crtdel(plat Platform, p *osprofile.Profile, fileBytes int64, seed uint64) s
 func crtdelSetup(plat Platform, p *osprofile.Profile, seed uint64) (*sim.Clock, *fs.FileSystem) {
 	clock := &sim.Clock{}
 	rng := sim.NewRNG(seed)
-	return clock, fs.New(clock, plat.Disk(rng.Fork(1)), p)
+	return clock, fs.MustNew(clock, plat.Disk(rng.Fork(1)), p)
 }
 
 // crtdelOn runs the create/delete loop on a prepared file system

@@ -19,7 +19,7 @@ import (
 // back to the same process: one write(2) plus one read(2) with no context
 // switch, §5's isolation of pipe overhead from scheduling.
 func SelfPipe(plat Platform, p *osprofile.Profile) sim.Duration {
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	m := kernel.MustMachine(plat.CPU, p, sim.NewRNG(0))
 	pipe := m.NewPipe()
 	const iters = 1000
 	var start, end sim.Time
@@ -38,7 +38,7 @@ func SelfPipe(plat Platform, p *osprofile.Profile) sim.Duration {
 // LatProc measures process creation: the time for fork+exit (when exec is
 // false) or fork+exec+exit (when true), lmbench's lat_proc.
 func LatProc(plat Platform, p *osprofile.Profile, exec bool) sim.Duration {
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	m := kernel.MustMachine(plat.CPU, p, sim.NewRNG(0))
 	const iters = 100
 	var start, end sim.Time
 	m.Spawn("lat_proc", func(pr *kernel.Proc) {
@@ -59,7 +59,7 @@ func LatProc(plat Platform, p *osprofile.Profile, exec bool) sim.Duration {
 // at its smallest size — the purest view of the metadata policies.
 func LatFSCreate(plat Platform, p *osprofile.Profile, seed uint64) sim.Duration {
 	clock := &sim.Clock{}
-	fsys := fs.New(clock, plat.Disk(sim.NewRNG(seed)), p)
+	fsys := fs.MustNew(clock, plat.Disk(sim.NewRNG(seed)), p)
 	const iters = 50
 	start := clock.Now()
 	for i := 0; i < iters; i++ {
@@ -80,7 +80,7 @@ func LatFSCreate(plat Platform, p *osprofile.Profile, seed uint64) sim.Duration 
 // Ctx it uses exactly two processes and reports the round trip rather
 // than the per-switch time.
 func LatPipe(plat Platform, p *osprofile.Profile) sim.Duration {
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	m := kernel.MustMachine(plat.CPU, p, sim.NewRNG(0))
 	ping, pong := m.NewPipe(), m.NewPipe()
 	const iters = 1000
 	var start, end sim.Time

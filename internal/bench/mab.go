@@ -68,7 +68,7 @@ var PhaseNames = [5]string{"directory creation", "file copy", "directory stats",
 func MAB(plat Platform, p *osprofile.Profile, cfg MABConfig, seed uint64) MABResult {
 	clock := &sim.Clock{}
 	rng := sim.NewRNG(seed)
-	fsys := fs.New(clock, plat.Disk(rng.Fork(1)), p)
+	fsys := fs.MustNew(clock, plat.Disk(rng.Fork(1)), p)
 	return MABOn(clock, fsys.AsVFS(), p, cfg)
 }
 

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/netstack"
 	"repro/internal/nfs"
+	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
 )
@@ -37,15 +39,26 @@ const (
 	ServerSunOS
 )
 
-// NewNFSServer builds the chosen server machine.
+// NewNFSServer builds the chosen server machine. Both server kinds are
+// compiled-in personalities on compiled-in geometries, so construction
+// cannot fail.
 func NewNFSServer(kind NFSServerKind, seed uint64) *nfs.Server {
+	var (
+		s   *nfs.Server
+		err error
+	)
 	switch kind {
 	case ServerLinux:
-		return nfs.NewServer(osprofile.Linux128(), disk.QuantumEmpire2100(), seed)
+		s, err = nfs.NewServer(osprofile.Linux128(), disk.QuantumEmpire2100(), seed)
 	case ServerSunOS:
-		return nfs.NewServer(osprofile.SunOS414(), SunServerDisk(), seed)
+		s, err = nfs.NewServer(osprofile.SunOS414(), SunServerDisk(), seed)
+	default:
+		panic("bench: unknown NFS server kind")
 	}
-	panic("bench: unknown NFS server kind")
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // MABNFS runs the Modified Andrew Benchmark with the given OS as the NFS
@@ -64,4 +77,45 @@ func MABNFS(p *osprofile.Profile, kind NFSServerKind, cfg MABConfig, seed uint64
 		panic(err)
 	}
 	return MABOn(clock, mount, p, cfg)
+}
+
+// mabPhaseKeys are metric-name slugs for MABResult.Phase, index-aligned
+// with PhaseNames.
+var mabPhaseKeys = [5]string{"mkdir", "copy", "stat", "read", "compile"}
+
+// MABNFSObserved is MABNFS with metrics and fault injection: the network
+// injector rides the mount's RPC path (hard-mount retry under loss), and
+// the disk/cache injectors ride the server's local file system. The
+// snapshot carries the per-phase times, the client's RPC counters
+// (including retransmits when faults fired), the server's file system
+// and disk counters, and the injector counters. Zero-value injectors
+// leave the run byte-identical to MABNFS.
+func MABNFSObserved(p *osprofile.Profile, kind NFSServerKind, cfg MABConfig, seed uint64, inj fault.Injectors) (MABResult, Observation) {
+	clock := &sim.Clock{}
+	server := NewNFSServer(kind, seed)
+	server.SetFaults(inj)
+	opts := nfs.MountOptions{}
+	if server.OS().NFS.RequiresPrivPort && !p.NFS.SendsPrivPort {
+		opts.ResvPort = true
+	}
+	mount, err := nfs.NewMount(clock, p, server, netstack.Ethernet10(), opts)
+	if err != nil {
+		panic(err)
+	}
+	mount.SetFaults(inj.Net)
+	res := MABOn(clock, mount, p, cfg)
+	reg := obs.NewRegistry()
+	for i, key := range mabPhaseKeys {
+		reg.Counter("mab.phase_us." + key).Add(res.Phase[i].Microseconds())
+	}
+	mount.Stats().FoldMetrics(reg, "nfs.")
+	server.FS().FoldMetrics(reg, "srv.fs.")
+	server.FS().Disk().Stats().FoldMetrics(reg, "srv.disk.")
+	inj.FoldMetrics(reg, "fault.")
+	rec := obs.NewRing(nil, TraceRingCap)
+	return res, Observation{
+		Process: rec.Capture(p.String()),
+		Metrics: reg.Snapshot(),
+		Total:   res.Total,
+	}
 }

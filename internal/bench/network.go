@@ -17,7 +17,7 @@ const (
 // BwPipe measures pipe bandwidth in megabits per second (Table 4) by
 // running the two-process transfer on the simulated kernel.
 func BwPipe(plat Platform, p *osprofile.Profile) float64 {
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	m := kernel.MustMachine(plat.CPU, p, sim.NewRNG(0))
 	return netstack.BandwidthMbps(BwPipeTotal, bwPipeOn(m))
 }
 
@@ -44,9 +44,13 @@ func bwPipeOn(m *kernel.Machine) sim.Duration {
 const TTCPTotal = 4 << 20
 
 // TTCP measures UDP bandwidth in megabits per second at one packet size
-// (Figure 13).
+// (Figure 13). Packet sizes beyond the personality's maximum datagram
+// are clamped to it, the way a real ttcp would fall back after EMSGSIZE.
 func TTCP(p *osprofile.Profile, packetSize int) float64 {
-	u := netstack.NewUDP(p)
+	u := netstack.MustUDP(p)
+	if packetSize > u.MaxDatagram() {
+		packetSize = u.MaxDatagram()
+	}
 	return netstack.BandwidthMbps(TTCPTotal, u.Transfer(TTCPTotal, packetSize))
 }
 
@@ -63,7 +67,7 @@ const BwTCPTotal = 3 << 20
 // window override of 0 uses the personality's window; anything else is
 // the A5 ablation.
 func BwTCP(p *osprofile.Profile, windowOverride int) float64 {
-	c := netstack.NewTCP(p)
+	c := netstack.MustTCP(p)
 	c.WindowOverride = windowOverride
 	return netstack.BandwidthMbps(BwTCPTotal, c.Transfer(BwTCPTotal))
 }

@@ -8,6 +8,7 @@ package bench
 // `pentiumbench metrics`.
 
 import (
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/netstack"
 	"repro/internal/obs"
@@ -50,7 +51,7 @@ func captureMachine(m *kernel.Machine, rec *obs.Recorder, p *osprofile.Profile) 
 
 // GetpidObserved is Getpid with tracing and metrics.
 func GetpidObserved(plat Platform, p *osprofile.Profile) (sim.Duration, Observation) {
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	m := kernel.MustMachine(plat.CPU, p, sim.NewRNG(0))
 	rec := obs.NewRing(m.Clock(), TraceRingCap)
 	m.Observe(rec)
 	d := getpidOn(m)
@@ -64,7 +65,7 @@ func CtxObserved(plat Platform, p *osprofile.Profile, nproc int, order CtxOrder)
 	if nproc < 2 {
 		panic("bench: ctx needs at least two processes")
 	}
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	m := kernel.MustMachine(plat.CPU, p, sim.NewRNG(0))
 	rec := obs.NewRing(m.Clock(), TraceRingCap)
 	m.Observe(rec)
 	d := ctxOn(m, nproc, order)
@@ -73,7 +74,7 @@ func CtxObserved(plat Platform, p *osprofile.Profile, nproc int, order CtxOrder)
 
 // BwPipeObserved is BwPipe with tracing and metrics.
 func BwPipeObserved(plat Platform, p *osprofile.Profile) (float64, Observation) {
-	m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(0))
+	m := kernel.MustMachine(plat.CPU, p, sim.NewRNG(0))
 	rec := obs.NewRing(m.Clock(), TraceRingCap)
 	m.Observe(rec)
 	elapsed := bwPipeOn(m)
@@ -82,15 +83,20 @@ func BwPipeObserved(plat Platform, p *osprofile.Profile) (float64, Observation) 
 
 // CrtdelObserved is Crtdel with tracing and metrics: the Figure 12
 // decomposition of a create/delete cycle into VFS, copy, allocation,
-// metadata-sync, disk-read and write-back spans.
-func CrtdelObserved(plat Platform, p *osprofile.Profile, fileBytes int64, seed uint64) (sim.Duration, Observation) {
+// metadata-sync, disk-read and write-back spans. A fault injector's
+// disk and cache faults ride the same charge paths, so the phase ledger
+// stays exact under injection; zero-value injectors add nothing and the
+// run is byte-identical to the unfaulted one.
+func CrtdelObserved(plat Platform, p *osprofile.Profile, fileBytes int64, seed uint64, inj fault.Injectors) (sim.Duration, Observation) {
 	clock, fsys := crtdelSetup(plat, p, seed)
+	fsys.SetFaults(inj)
 	rec := obs.NewRing(clock, TraceRingCap)
 	fsys.Observe(rec)
 	d := crtdelOn(clock, fsys, fileBytes)
 	reg := obs.NewRegistry()
 	fsys.FoldMetrics(reg, "fs.")
 	fsys.Disk().Stats().FoldMetrics(reg, "disk.")
+	inj.FoldMetrics(reg, "fault.")
 	return d, Observation{
 		Process: rec.Capture(p.String()),
 		Metrics: reg.Snapshot(),
@@ -99,14 +105,18 @@ func CrtdelObserved(plat Platform, p *osprofile.Profile, fileBytes int64, seed u
 }
 
 // BwTCPObserved is BwTCP with tracing and metrics: the sliding-window
-// walk decomposed into segment, ack and scheduler-switch time.
-func BwTCPObserved(p *osprofile.Profile, windowOverride int) (float64, Observation) {
-	c := netstack.NewTCP(p)
+// walk decomposed into segment, ack and scheduler-switch time (plus
+// fault time when an injector drops segments or delays acks — the
+// four-term identity still sums to the elapsed transfer exactly).
+func BwTCPObserved(p *osprofile.Profile, windowOverride int, inj fault.Injectors) (float64, Observation) {
+	c := netstack.MustTCP(p)
 	c.WindowOverride = windowOverride
+	c.Faults = inj.Net
 	rec := obs.NewRing(nil, TraceRingCap)
 	elapsed, st := c.TransferObserved(BwTCPTotal, rec)
 	reg := obs.NewRegistry()
 	st.FoldMetrics(reg, "tcp.")
+	inj.FoldMetrics(reg, "fault.")
 	return netstack.BandwidthMbps(BwTCPTotal, elapsed), Observation{
 		Process: rec.Capture(p.String()),
 		Metrics: reg.Snapshot(),
@@ -115,31 +125,28 @@ func BwTCPObserved(p *osprofile.Profile, windowOverride int) (float64, Observati
 }
 
 // TTCPObserved is TTCP with metrics: the transfer's time decomposed into
-// per-packet processing, data copies and syscall entry. The components
-// are accumulated per datagram exactly as Transfer charges them, so they
-// sum to the transfer time to the nanosecond.
-func TTCPObserved(p *osprofile.Profile, packetSize int) (float64, Observation) {
-	u := netstack.NewUDP(p)
-	var per, cp, sys sim.Duration
-	packets := 0
-	for sent := 0; sent < TTCPTotal; {
-		n := packetSize
-		if rem := TTCPTotal - sent; n > rem {
-			n = rem
-		}
-		b := u.PacketBreakdown(n)
-		per += b.PerPacket
-		cp += b.Copy
-		sys += b.Syscall
-		packets++
-		sent += n
+// per-packet processing, data copies, syscall entry, and (under
+// injection) duplicate-delivery fault time. The components are
+// accumulated per datagram exactly as Transfer charges them, so they
+// sum to the transfer time to the nanosecond. Oversized packet sizes
+// clamp to the personality's maximum datagram, as in TTCP.
+func TTCPObserved(p *osprofile.Profile, packetSize int, inj fault.Injectors) (float64, Observation) {
+	u := netstack.MustUDP(p)
+	u.Faults = inj.Net
+	if packetSize > u.MaxDatagram() {
+		packetSize = u.MaxDatagram()
 	}
-	total := per + cp + sys
+	st := u.TransferStats(TTCPTotal, packetSize)
+	total := st.Total()
 	reg := obs.NewRegistry()
-	reg.Counter("udp.packets").Add(float64(packets))
-	reg.Counter("udp.perpacket_us").Add(per.Microseconds())
-	reg.Counter("udp.copy_us").Add(cp.Microseconds())
-	reg.Counter("udp.syscall_us").Add(sys.Microseconds())
+	reg.Counter("udp.packets").Add(float64(st.Packets))
+	reg.Counter("udp.perpacket_us").Add(st.PerPacket.Microseconds())
+	reg.Counter("udp.copy_us").Add(st.Copy.Microseconds())
+	reg.Counter("udp.syscall_us").Add(st.Syscall.Microseconds())
+	if st.FaultTime > 0 {
+		reg.Counter("udp.fault_us").Add(st.FaultTime.Microseconds())
+	}
+	inj.FoldMetrics(reg, "fault.")
 	rec := obs.NewRing(nil, TraceRingCap)
 	return netstack.BandwidthMbps(TTCPTotal, total), Observation{
 		Process: rec.Capture(p.String()),

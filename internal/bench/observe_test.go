@@ -3,6 +3,7 @@ package bench
 import (
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/osprofile"
 )
 
@@ -24,13 +25,13 @@ func TestObservedVariantsBitIdentical(t *testing.T) {
 			if v, _ := BwPipeObserved(plat, p); v != BwPipe(plat, p) {
 				t.Error("BwPipeObserved diverges from BwPipe")
 			}
-			if d, _ := CrtdelObserved(plat, p, 64<<10, 1); d != Crtdel(plat, p, 64<<10, 1) {
+			if d, _ := CrtdelObserved(plat, p, 64<<10, 1, fault.Injectors{}); d != Crtdel(plat, p, 64<<10, 1) {
 				t.Error("CrtdelObserved diverges from Crtdel")
 			}
-			if v, _ := BwTCPObserved(p, 0); v != BwTCP(p, 0) {
+			if v, _ := BwTCPObserved(p, 0, fault.Injectors{}); v != BwTCP(p, 0) {
 				t.Error("BwTCPObserved diverges from BwTCP")
 			}
-			if v, _ := TTCPObserved(p, 1024); v != TTCP(p, 1024) {
+			if v, _ := TTCPObserved(p, 1024, fault.Injectors{}); v != TTCP(p, 1024) {
 				t.Error("TTCPObserved diverges from TTCP")
 			}
 		})
@@ -43,7 +44,7 @@ func TestObservedVariantsBitIdentical(t *testing.T) {
 func TestObservationsCarryData(t *testing.T) {
 	plat := PaperPlatform()
 	p := osprofile.FreeBSD205()
-	_, o := CrtdelObserved(plat, p, 64<<10, 1)
+	_, o := CrtdelObserved(plat, p, 64<<10, 1, fault.Injectors{})
 	if o.Total <= 0 {
 		t.Fatal("crtdel observation has no total")
 	}
@@ -76,7 +77,7 @@ func BenchmarkCrtdelObserved(b *testing.B) {
 	plat := PaperPlatform()
 	p := osprofile.FreeBSD205()
 	for i := 0; i < b.N; i++ {
-		CrtdelObserved(plat, p, 64<<10, 1)
+		CrtdelObserved(plat, p, 64<<10, 1, fault.Injectors{})
 	}
 }
 

@@ -16,8 +16,8 @@ func benchImpls() []struct {
 		name string
 		mk   func(Config) Sim
 	}{
-		{"fast", func(cfg Config) Sim { return New(cfg) }},
-		{"ref", func(cfg Config) Sim { return NewRef(cfg) }},
+		{"fast", func(cfg Config) Sim { return MustNew(cfg) }},
+		{"ref", func(cfg Config) Sim { return MustRef(cfg) }},
 	}
 }
 

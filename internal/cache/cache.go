@@ -144,16 +144,17 @@ type level struct {
 	tick     uint64
 }
 
-func newLevel(size, assoc, lineSize int) *level {
+func newLevel(size, assoc, lineSize int) (*level, error) {
 	if size <= 0 || assoc <= 0 || lineSize <= 0 {
-		panic("cache: sizes and associativity must be positive")
+		return nil, fmt.Errorf("cache: sizes and associativity must be positive (size %d, assoc %d, line %d)",
+			size, assoc, lineSize)
 	}
 	if size%(assoc*lineSize) != 0 {
-		panic(fmt.Sprintf("cache: size %d not divisible by assoc*line (%d*%d)", size, assoc, lineSize))
+		return nil, fmt.Errorf("cache: size %d not divisible by assoc*line (%d*%d)", size, assoc, lineSize)
 	}
 	nsets := size / (assoc * lineSize)
 	if nsets&(nsets-1) != 0 {
-		panic(fmt.Sprintf("cache: set count %d must be a power of two", nsets))
+		return nil, fmt.Errorf("cache: set count %d must be a power of two", nsets)
 	}
 	shift := uint(0)
 	for l := lineSize; l > 1; l >>= 1 {
@@ -166,7 +167,7 @@ func newLevel(size, assoc, lineSize int) *level {
 		setShift: shift,
 		setMask:  uint64(nsets - 1),
 		lineSize: lineSize,
-	}
+	}, nil
 }
 
 func (lv *level) lineAddr(addr uint64) uint64 { return addr >> lv.setShift }
@@ -346,17 +347,33 @@ type Hierarchy struct {
 	attr *CycleBreakdown
 }
 
-// New builds a hierarchy from cfg. It panics on invalid geometry, since a
-// malformed machine description is a programming error.
-func New(cfg Config) *Hierarchy {
+// New builds a hierarchy from cfg. Invalid geometry — non-positive
+// sizes, a non-power-of-two set count, L1 at least as large as L2 — is
+// a returned error, so a malformed machine description from a flag or a
+// config file surfaces as a message, not a panic.
+func New(cfg Config) (*Hierarchy, error) {
 	if cfg.L1Size >= cfg.L2Size {
-		panic("cache: L1 must be smaller than L2")
+		return nil, fmt.Errorf("cache: L1 (%d) must be smaller than L2 (%d)", cfg.L1Size, cfg.L2Size)
 	}
-	return &Hierarchy{
-		cfg: cfg,
-		l1:  newLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
-		l2:  newLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+	l1, err := newLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
 	}
+	l2, err := newLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	return &Hierarchy{cfg: cfg, l1: l1, l2: l2}, nil
+}
+
+// MustNew is New for the compiled-in machine descriptions, whose
+// validity is a compile-time fact.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Config returns the hierarchy's configuration.

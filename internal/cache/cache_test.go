@@ -5,7 +5,7 @@ import (
 	"testing/quick"
 )
 
-func pentium() *Hierarchy { return New(PentiumConfig()) }
+func pentium() *Hierarchy { return MustNew(PentiumConfig()) }
 
 func TestReadAllocates(t *testing.T) {
 	h := pentium()
@@ -47,7 +47,7 @@ func TestWriteMissDoesNotAllocate(t *testing.T) {
 func TestWriteAllocateModeAllocates(t *testing.T) {
 	cfg := PentiumConfig()
 	cfg.WriteAllocate = true
-	h := New(cfg)
+	h := MustNew(cfg)
 	h.WriteWords(0x2000, 1)
 	if lvl := h.Contains(0x2000); lvl != 1 {
 		t.Fatalf("write-allocate cache did not allocate on write miss (level %d)", lvl)
@@ -136,7 +136,7 @@ func TestFlush(t *testing.T) {
 
 func TestLRUWithinSet(t *testing.T) {
 	cfg := PentiumConfig()
-	h := New(cfg)
+	h := MustNew(cfg)
 	// Three lines mapping to the same L1 set (stride = L1 size / assoc).
 	stride := uint64(cfg.L1Size / cfg.L1Assoc)
 	a, b, c := uint64(0), stride, 2*stride
@@ -235,20 +235,23 @@ func TestAddCyclesNegativePanics(t *testing.T) {
 	pentium().AddCycles(-1)
 }
 
-func TestNewPanicsOnBadGeometry(t *testing.T) {
+func TestNewRejectsBadGeometry(t *testing.T) {
 	cases := []Config{
 		{LineSize: 32, L1Size: 8 << 10, L1Assoc: 2, L2Size: 4 << 10, L2Assoc: 2}, // L1 >= L2
 		{LineSize: 32, L1Size: 0, L1Assoc: 2, L2Size: 256 << 10, L2Assoc: 2},
 		{LineSize: 32, L1Size: 8<<10 + 32, L1Assoc: 2, L2Size: 256 << 10, L2Assoc: 2},
 	}
 	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New(%+v) did not return an error", i, cfg)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("case %d: New(%+v) did not panic", i, cfg)
+					t.Errorf("case %d: MustNew(%+v) did not panic", i, cfg)
 				}
 			}()
-			New(cfg)
+			MustNew(cfg)
 		}()
 	}
 }

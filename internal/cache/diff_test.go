@@ -37,8 +37,8 @@ func diffGeometries() []Config {
 func replayRandomTrace(t *testing.T, cfg Config, seed int64, ops int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	fast := New(cfg)
-	ref := NewRef(cfg)
+	fast := MustNew(cfg)
+	ref := MustRef(cfg)
 	// Keep the footprint a few multiples of L2 so hits, misses and
 	// evictions all occur; odd base for unaligned runs.
 	region := uint64(4 * cfg.L2Size)
@@ -152,7 +152,7 @@ func TestRunEntryPointEdgeCases(t *testing.T) {
 		cfg.WriteAllocate = wa
 		for _, c := range cases {
 			t.Run(fmt.Sprintf("%s/writeAlloc=%v", c.name, wa), func(t *testing.T) {
-				fast, ref := New(cfg), NewRef(cfg)
+				fast, ref := MustNew(cfg), MustRef(cfg)
 				// Pre-warm part of the footprint so hits and misses mix.
 				for _, s := range []Sim{fast, ref} {
 					s.ReadWords(0x1000, 8)
@@ -171,7 +171,7 @@ func TestRunEntryPointEdgeCases(t *testing.T) {
 
 // A negative chunk-loop charge is a programming error on both paths.
 func TestRunNegativeLoopPanics(t *testing.T) {
-	for name, s := range map[string]Sim{"fast": New(PentiumConfig()), "ref": NewRef(PentiumConfig())} {
+	for name, s := range map[string]Sim{"fast": MustNew(PentiumConfig()), "ref": MustRef(PentiumConfig())} {
 		t.Run(name, func(t *testing.T) {
 			defer func() {
 				if recover() == nil {
@@ -193,8 +193,8 @@ func TestRunNegativeLoopPanics(t *testing.T) {
 func replayBreakdownTrace(t *testing.T, cfg Config, seed int64, ops int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	plain := New(cfg)
-	fast, ref := New(cfg), NewRef(cfg)
+	plain := MustNew(cfg)
+	fast, ref := MustNew(cfg), MustRef(cfg)
 	var fb, rb CycleBreakdown
 	fast.AttachBreakdown(&fb)
 	ref.AttachBreakdown(&rb)
@@ -288,7 +288,7 @@ func TestBreakdownAttribution(t *testing.T) {
 // Stats must fold to identical (and Equal) registry snapshots.
 func TestDifferentialMetricSnapshots(t *testing.T) {
 	cfg := PentiumConfig()
-	fast, ref := New(cfg), NewRef(cfg)
+	fast, ref := MustNew(cfg), MustRef(cfg)
 	for _, s := range []Sim{fast, ref} {
 		s.ReadRun(0x1000, 4096, 4, 1.33)
 		s.WriteRun(0x9000, 4096, 4, 1.0)
@@ -309,7 +309,7 @@ func TestDifferentialMetricSnapshots(t *testing.T) {
 }
 
 func TestBreakdownResetAndDetach(t *testing.T) {
-	h := New(PentiumConfig())
+	h := MustNew(PentiumConfig())
 	var b CycleBreakdown
 	h.AttachBreakdown(&b)
 	h.ReadWords(0x1000, 64)

@@ -73,8 +73,23 @@ type RefHierarchy struct {
 	h *Hierarchy
 }
 
-// NewRef builds a reference hierarchy from cfg.
-func NewRef(cfg Config) *RefHierarchy { return &RefHierarchy{h: New(cfg)} }
+// NewRef builds a reference hierarchy from cfg, with New's validation.
+func NewRef(cfg Config) (*RefHierarchy, error) {
+	h, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RefHierarchy{h: h}, nil
+}
+
+// MustRef is NewRef for compiled-in machine descriptions.
+func MustRef(cfg Config) *RefHierarchy {
+	r, err := NewRef(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
 
 // Config returns the hierarchy's configuration.
 func (r *RefHierarchy) Config() Config { return r.h.Config() }

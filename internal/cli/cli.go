@@ -5,18 +5,22 @@ package cli
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/notes"
@@ -72,6 +76,8 @@ func (a *App) Execute(args []string) int {
 	outFile := fl.String("o", "", "profile: write output to this file instead of stdout")
 	baseFile := fl.String("baseline", "BENCH_baseline.json", "baseline record/check: the baseline file path")
 	tol := fl.Float64("tol", 0, "baseline check/diff: relative tolerance for non-integer metrics (0 = default 1e-9); integer ledgers always match exactly")
+	planFile := fl.String("plan", "", "faults: the fault plan JSON file to inject (see examples/lossy-nfs.json)")
+	faultsFile := fl.String("faults", "", "trace/metrics/profile: inject this fault plan JSON into the probes")
 	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
 	cpuProfile := fl.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
 	memProfile := fl.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
@@ -92,6 +98,11 @@ func (a *App) Execute(args []string) int {
 		}
 		rest = append(rest, remaining[0])
 		remaining = remaining[1:]
+	}
+
+	if msg := flagRangeError(*runs, *workers, *procs, *trials, *topN, *eps, *tol); msg != "" {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", msg)
+		return 2
 	}
 
 	cfg := core.DefaultConfig()
@@ -119,15 +130,100 @@ func (a *App) Execute(args []string) int {
 		a.usage(fl)
 		return 2
 	}
+	plan, code := a.loadPlan(*planFile)
+	if code != 0 {
+		return code
+	}
+	faultPlan, code := a.loadPlan(*faultsFile)
+	if code != 0 {
+		return code
+	}
 	runner := core.NewRunner(*workers)
 	opts := cmdOpts{
 		showStats: *showStats, outDir: *outDir, eps: *eps, trials: *trials,
 		procs: *procs, format: *format, top: *topN, out: *outFile,
-		baseline: *baseFile, tol: *tol,
+		baseline: *baseFile, tol: *tol, plan: plan, faults: faultPlan,
 	}
 	return a.profiled(*cpuProfile, *memProfile, func() int {
-		return a.dispatch(fl, cfg, runner, opts, rest)
+		return a.recovered(func() int {
+			return a.dispatch(fl, cfg, runner, opts, rest)
+		})
 	})
+}
+
+// flagRangeError bounds-checks the numeric flags. The flag package
+// already rejects malformed syntax ("-j x"); these catch values that
+// parse but mean nothing ("-j -3", "-tol NaN") before any model runs.
+func flagRangeError(runs, workers, procs, trials, top int, eps, tol float64) string {
+	badFloat := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
+	switch {
+	case runs <= 0:
+		return fmt.Sprintf("-runs must be positive (got %d)", runs)
+	case workers < 0:
+		return fmt.Sprintf("-j must be >= 0, 0 meaning GOMAXPROCS (got %d)", workers)
+	case procs < 0:
+		return fmt.Sprintf("-procs must be >= 0 (got %d)", procs)
+	case trials <= 0:
+		return fmt.Sprintf("-trials must be positive (got %d)", trials)
+	case top < 0:
+		return fmt.Sprintf("-top must be >= 0 (got %d)", top)
+	case badFloat(eps):
+		return fmt.Sprintf("-eps must be a finite non-negative number (got %v)", eps)
+	case badFloat(tol):
+		return fmt.Sprintf("-tol must be a finite non-negative number (got %v)", tol)
+	}
+	return ""
+}
+
+// loadPlan reads and validates a fault plan file; an empty path means no
+// plan. The int is the exit code when the plan is non-nil-but-unloadable.
+func (a *App) loadPlan(path string) (*fault.Plan, int) {
+	if path == "" {
+		return nil, 0
+	}
+	data, err := a.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+		return nil, 2
+	}
+	p, err := fault.Load(data)
+	if err != nil {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+		return nil, 2
+	}
+	return p, 0
+}
+
+// recovered is the last-resort panic boundary: no command line may
+// produce a Go stack trace. A kernel deadlock arrives as
+// *sim.DeadlockError and renders with its diagnostic dump; anything
+// else reports as an internal error. Both exit 1.
+func (a *App) recovered(cmd func() int) (code int) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if d, ok := r.(*sim.DeadlockError); ok {
+			a.renderDeadlock(d)
+			code = 1
+			return
+		}
+		fmt.Fprintf(a.Stderr, "pentiumbench: internal error: %v\n", r)
+		code = 1
+	}()
+	return cmd()
+}
+
+// renderDeadlock prints a deadlock diagnostic: the one-line summary,
+// then the span-buffer dump indented beneath it.
+func (a *App) renderDeadlock(d *sim.DeadlockError) {
+	fmt.Fprintln(a.Stderr, "pentiumbench:", d.Error())
+	if d.Dump != "" {
+		for _, line := range strings.Split(strings.TrimRight(d.Dump, "\n"), "\n") {
+			fmt.Fprintln(a.Stderr, " ", line)
+		}
+	}
 }
 
 // cmdOpts bundles the per-subcommand flag values for dispatch.
@@ -142,6 +238,10 @@ type cmdOpts struct {
 	out       string
 	baseline  string
 	tol       float64
+	// plan is the -plan fault plan (faults command only); faults is the
+	// -faults plan injected into trace/metrics/profile probes.
+	plan   *fault.Plan
+	faults *fault.Plan
 }
 
 // dispatch routes a parsed command line to its subcommand.
@@ -149,6 +249,18 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 	o cmdOpts, rest []string) int {
 	showStats, outDir, eps, trials := o.showStats, o.outDir, o.eps, o.trials
 	procs, format := o.procs, o.format
+	if o.faults != nil {
+		switch rest[0] {
+		case "trace", "metrics", "profile":
+		default:
+			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only trace, metrics and profile take it; see the faults command)\n", rest[0])
+			return 2
+		}
+	}
+	if o.plan != nil && rest[0] != "faults" {
+		fmt.Fprintln(a.Stderr, "pentiumbench: -plan only applies to the faults command (use -faults with trace/metrics/profile)")
+		return 2
+	}
 	switch rest[0] {
 	case "list":
 		a.list()
@@ -176,12 +288,15 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 		a.latency(cfg)
 		return 0
 	case "trace":
-		return a.trace(cfg, runner, rest[1:], procs, format, o.top)
+		return a.trace(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs, Faults: o.faults},
+			format, o.top)
 	case "metrics":
-		return a.metrics(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs})
+		return a.metrics(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs, Faults: o.faults})
 	case "profile":
-		return a.profileCmd(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs},
+		return a.profileCmd(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs, Faults: o.faults},
 			format, o.top, o.out)
+	case "faults":
+		return a.faults(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs}, o.plan)
 	case "baseline":
 		return a.baseline(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs},
 			o.baseline, o.tol)
@@ -280,6 +395,12 @@ commands:
                   -format=folded emits flamegraph.pl/inferno folded
                   stacks, -format=pprof a 'go tool pprof'-compatible
                   profile; -o writes to a file, -top truncates tables
+  faults <ids|all> -plan <file>   run the observability probes clean and
+                  under a deterministic fault plan (JSON; see
+                  examples/lossy-nfs.json) and report the slowdown per
+                  system plus the injected-fault counters. 'all' selects
+                  the faultable probes. The same plan can be injected
+                  into trace/metrics/profile with -faults <file>
   baseline record [ids|all]   record the probes' canonical metric
                   snapshot to -baseline (default BENCH_baseline.json)
   baseline check  re-run with the baseline's recorded seed and ids and
@@ -495,9 +616,17 @@ func (a *App) replay(cfg core.Config, args []string) int {
 	fmt.Fprintf(a.Stdout, "Replaying trace %q on the modelled systems:\n\n", tr.Name)
 	for _, p := range cfg.Profiles {
 		clock := &sim.Clock{}
-		d := disk.New(disk.HP3725(), sim.NewRNG(cfg.Seed))
-		v := fs.New(clock, d, p).AsVFS()
-		st := workload.Replay(v, tr)
+		d, err := disk.New(disk.HP3725(), sim.NewRNG(cfg.Seed))
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 1
+		}
+		fsys, err := fs.New(clock, d, p)
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 1
+		}
+		st := workload.Replay(fsys.AsVFS(), tr)
 		fmt.Fprintf(a.Stdout, "  %-24s %10.3f s   (%d ops, %s written, %s read, %d errors)\n",
 			p.String(), clock.Now().Sub(0).Seconds(),
 			st.Ops, mb(st.BytesWritten), mb(st.BytesRead), st.Errors)
@@ -531,12 +660,12 @@ func (a *App) latency(cfg core.Config) {
 // trace-event JSON on stdout (load it in Perfetto or chrome://tracing),
 // -format=text a per-run summary with the tracks ranked by cumulative
 // virtual time (-top limits the ranking).
-func (a *App) trace(cfg core.Config, runner *core.Runner, ids []string, procs int,
-	format string, top int) int {
+func (a *App) trace(cfg core.Config, runner *core.Runner, ids []string,
+	opts core.ObserveOpts, format string, top int) int {
 	if len(ids) == 0 {
-		return a.traceTimeline(cfg, procs)
+		return a.traceTimeline(cfg, opts.Procs)
 	}
-	suite, code := a.observeSuite(cfg, runner, ids, core.ObserveOpts{Procs: procs})
+	suite, code := a.observeSuite(cfg, runner, ids, opts)
 	if suite == nil {
 		return code
 	}
@@ -594,8 +723,12 @@ func (a *App) traceText(suite *core.SuiteObservation, top int) {
 				shown = shown[:top]
 			}
 			for _, tt := range shown {
-				fmt.Fprintf(a.Stdout, "    %-22s %12d ns over %d spans\n",
+				fmt.Fprintf(a.Stdout, "    %-22s %12d ns over %d spans",
 					tt.Track, tt.TotalNs, tt.Spans)
+				if tt.Truncated > 0 {
+					fmt.Fprintf(a.Stdout, "  [truncated: %d incomplete]", tt.Truncated)
+				}
+				fmt.Fprintln(a.Stdout)
 			}
 			if len(shown) < len(tracks) {
 				fmt.Fprintf(a.Stdout, "    (%d more tracks)\n", len(tracks)-len(shown))
@@ -617,7 +750,11 @@ func (a *App) traceTimeline(cfg core.Config, procs int) int {
 	plat := bench.PaperPlatform()
 	for _, p := range cfg.Profiles {
 		fmt.Fprintf(a.Stdout, "%s — one %d-process token-ring lap:\n", p, procs)
-		m := kernel.NewMachine(plat.CPU, p, sim.NewRNG(cfg.Seed))
+		m, err := kernel.NewMachine(plat.CPU, p, sim.NewRNG(cfg.Seed))
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 1
+		}
 		m.EnableTrace(64 * procs)
 		pipes := make([]*kernel.Pipe, procs)
 		for i := range pipes {
@@ -635,7 +772,15 @@ func (a *App) traceTimeline(cfg core.Config, procs int) int {
 				}
 			})
 		}
-		m.Run()
+		if err := m.RunChecked(); err != nil {
+			var d *sim.DeadlockError
+			if errors.As(err, &d) {
+				a.renderDeadlock(d)
+			} else {
+				fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			}
+			return 1
+		}
 		for _, e := range m.TraceEvents() {
 			fmt.Fprintf(a.Stdout, "  %s\n", e)
 		}
@@ -700,6 +845,12 @@ func (a *App) metrics(cfg core.Config, runner *core.Runner, ids []string, opts c
 				fmt.Fprintf(a.Stdout, " %11.2f", vals[h.Name])
 			}
 			fmt.Fprintf(a.Stdout, " %13.2f\n", run.Total)
+		}
+		if counters := faultCounters(o); len(counters) > 0 {
+			fmt.Fprintln(a.Stdout, "  injected faults (summed across systems):")
+			for _, c := range counters {
+				fmt.Fprintf(a.Stdout, "    %-32s %14.0f\n", c.Name, c.Value)
+			}
 		}
 	}
 	return 0

@@ -81,7 +81,7 @@ func init() {
 // iteration for one personality.
 func crtdelDiskOps(plat bench.Platform, p *osprofile.Profile, seed uint64) float64 {
 	clock := &sim.Clock{}
-	fsys := fs.New(clock, plat.Disk(sim.NewRNG(seed)), p)
+	fsys := fs.MustNew(clock, plat.Disk(sim.NewRNG(seed)), p)
 	const iters = 20
 	for i := 0; i < iters; i++ {
 		f, err := fsys.Create("/t")

@@ -9,10 +9,12 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/memmodel"
 	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/profile"
+	"repro/internal/sim"
 )
 
 // PhaseRow is one attribution row of a metrics table: a named phase and
@@ -60,6 +62,12 @@ type ObserveOpts struct {
 	FileBytes int64
 	// PacketSize is the datagram size for the F13 probe (default 1024).
 	PacketSize int
+	// Faults, when non-nil and active, injects the plan's faults into
+	// the probes that model faultable hardware (disk, network, buffer
+	// cache): T5, T6, T7, F12 and F13. Each (experiment, personality)
+	// run forks its own injector RNG from the seed, so results are
+	// bit-identical at every worker count. Nil runs clean.
+	Faults *fault.Plan
 }
 
 func (o ObserveOpts) withDefaults() ObserveOpts {
@@ -89,12 +97,19 @@ var memRoutines = map[string]memmodel.Routine{
 // ObservableIDs returns the experiment IDs Observe has probes for, in
 // presentation order.
 func ObservableIDs() []string {
-	ids := []string{"T2", "T4", "T5", "F1", "F12", "F13"}
+	ids := []string{"T2", "T4", "T5", "T6", "T7", "F1", "F12", "F13"}
 	for id := range memRoutines {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return rank(ids[i]) < rank(ids[j]) })
 	return ids
+}
+
+// FaultableIDs returns the observable experiments whose probes consult
+// the fault injectors: the ones modelling disk, network or buffer-cache
+// hardware. The other probes run identically under any plan.
+func FaultableIDs() []string {
+	return []string{"T5", "T6", "T7", "F12", "F13"}
 }
 
 // rows extracts attribution rows from a snapshot: the counters carrying
@@ -185,17 +200,27 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 		}
 	case "T5":
 		for _, p := range profiles {
-			_, o := bench.BwTCPObserved(p, 0)
+			_, o := bench.BwTCPObserved(p, 0, injFor(cfg, opts, id, p))
 			out.Runs = append(out.Runs, benchRun(p.String(), o, "tcp.", "_us"))
+		}
+	case "T6":
+		for _, p := range profiles {
+			_, o := bench.MABNFSObserved(p, bench.ServerLinux, bench.DefaultMAB(), cfg.Seed, injFor(cfg, opts, id, p))
+			out.Runs = append(out.Runs, benchRun(p.String(), o, "mab.phase_us.", ""))
+		}
+	case "T7":
+		for _, p := range profiles {
+			_, o := bench.MABNFSObserved(p, bench.ServerSunOS, bench.DefaultMAB(), cfg.Seed, injFor(cfg, opts, id, p))
+			out.Runs = append(out.Runs, benchRun(p.String(), o, "mab.phase_us.", ""))
 		}
 	case "F12":
 		for _, p := range profiles {
-			_, o := bench.CrtdelObserved(plat, p, opts.FileBytes, cfg.Seed)
+			_, o := bench.CrtdelObserved(plat, p, opts.FileBytes, cfg.Seed, injFor(cfg, opts, id, p))
 			out.Runs = append(out.Runs, benchRun(p.String(), o, "fs.phase_us.", ""))
 		}
 	case "F13":
 		for _, p := range profiles {
-			_, o := bench.TTCPObserved(p, opts.PacketSize)
+			_, o := bench.TTCPObserved(p, opts.PacketSize, injFor(cfg, opts, id, p))
 			out.Runs = append(out.Runs, benchRun(p.String(), o, "udp.", "_us"))
 		}
 	default:
@@ -203,6 +228,15 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 	}
 	out.foldProfiles()
 	return out, nil
+}
+
+// injFor builds the fault injectors for one (experiment, personality)
+// probe run. The injector RNG forks from the seed with the same salt
+// scheme the noise model uses, so a faulted suite is deterministic at
+// every worker count and across runs. An inactive plan returns the
+// zero Injectors without touching any RNG.
+func injFor(cfg Config, opts ObserveOpts, id string, p *osprofile.Profile) fault.Injectors {
+	return fault.New(opts.Faults, sim.NewRNG(cfg.Seed).Fork(saltFor(id, p.String(), 0)))
 }
 
 // foldProfiles folds each run's span stream. Called once per probe,

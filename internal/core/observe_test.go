@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -108,6 +109,40 @@ func TestObserveDeterminismAcrossWorkers(t *testing.T) {
 	}
 	if !bytes.HasPrefix(b1, []byte("[")) || len(b1) < 2 {
 		t.Fatalf("chrome export does not look like a JSON array: %.40q", b1)
+	}
+}
+
+// The same guarantee holds with a fault plan injected: every fault
+// arrival derives from the per-(experiment, personality) RNG fork, never
+// from worker scheduling, so a faulted suite is as bit-deterministic as a
+// clean one. Runs under -race in `make check` via the race target.
+func TestObserveDeterminismAcrossWorkersFaulted(t *testing.T) {
+	cfg := DefaultConfig()
+	ids := FaultableIDs()
+	opts := ObserveOpts{Faults: &fault.Plan{
+		Disk:  fault.DiskFaults{LatencySpikeProb: 0.05, TransientErrorProb: 0.02},
+		Net:   fault.NetFaults{UDPLossProb: 0.05, TCPSegLossProb: 0.02, AckDelayUs: 200},
+		Cache: fault.CacheFaults{PageStealProb: 0.01},
+	}}
+	s1, err := NewRunner(1).Observe(cfg, ids, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := NewRunner(8).Observe(cfg, ids, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := s1.Metrics.ExcludePrefix("runner.")
+	m8 := s8.Metrics.ExcludePrefix("runner.")
+	if !m1.Equal(m8) {
+		t.Fatalf("faulted metric snapshots differ between -j 1 and -j 8:\n-j1:\n%s\n-j8:\n%s", m1, m8)
+	}
+	if !bytes.Equal(chromeBytes(t, s1), chromeBytes(t, s8)) {
+		t.Fatal("faulted chrome trace bytes differ between -j 1 and -j 8")
+	}
+	// The injectors actually fired and their counters surfaced.
+	if v, ok := m1.Get("fault.net.rpc_retransmits"); !ok || v == 0 {
+		t.Errorf("fault.net.rpc_retransmits = %v, %v", v, ok)
 	}
 }
 

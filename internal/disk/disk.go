@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -96,6 +97,7 @@ type Stats struct {
 type Disk struct {
 	geom      Geometry
 	rng       *sim.RNG
+	inj       *fault.DiskInjector
 	headCyl   int
 	nextBlock int64 // block following the last access, for sequential detection
 	stats     Stats
@@ -106,9 +108,11 @@ type Disk struct {
 
 // New builds a disk with the given geometry. The RNG supplies rotational
 // phases; passing a fork of the experiment RNG keeps runs reproducible.
-func New(geom Geometry, rng *sim.RNG) *Disk {
+// Invalid geometry (a -profiles typo, a bad custom platform) is a
+// returned error, never a panic.
+func New(geom Geometry, rng *sim.RNG) (*Disk, error) {
 	if geom.Cylinders <= 0 || geom.CapacityMB <= 0 || geom.TransferMBs <= 0 || geom.RPM <= 0 {
-		panic(fmt.Sprintf("disk: invalid geometry %+v", geom))
+		return nil, fmt.Errorf("disk: invalid geometry %+v", geom)
 	}
 	total := int64(geom.CapacityMB) << 20 / BlockSize
 	bpc := total / int64(geom.Cylinders)
@@ -121,8 +125,23 @@ func New(geom Geometry, rng *sim.RNG) *Disk {
 		blocksPerCyl: bpc,
 		totalBlocks:  total,
 		nextBlock:    -1,
-	}
+	}, nil
 }
+
+// MustNew is New for the built-in geometries, whose validity is a
+// compile-time fact.
+func MustNew(geom Geometry, rng *sim.RNG) *Disk {
+	d, err := New(geom, rng)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// SetFaults attaches a fault injector (nil detaches). A nil injector adds
+// zero time without touching any RNG, so unfaulted runs are byte-identical
+// to builds without the fault layer.
+func (d *Disk) SetFaults(inj *fault.DiskInjector) { d.inj = inj }
 
 // Geometry returns the drive's description.
 func (d *Disk) Geometry() Geometry { return d.geom }
@@ -192,6 +211,10 @@ func (d *Disk) Access(block int64, nbytes int, write bool) sim.Duration {
 	xfer := sim.Duration(float64(nbytes) / (d.geom.TransferMBs * 1e6) * float64(sim.Second))
 	d.stats.TransferTime += xfer
 	t += xfer + d.geom.ControllerOverhead
+	// Injected faults (latency spikes, slow-sector remaps, transient
+	// retries) ride the same return path, so the caller's phase ledger
+	// charges them exactly where the mechanical time already goes.
+	t += d.inj.AccessExtra(d.rotation(), d.geom.AvgSeek, d.geom.ControllerOverhead)
 
 	d.headCyl = cyl
 	d.nextBlock = block + int64((nbytes+BlockSize-1)/BlockSize)

@@ -7,7 +7,7 @@ import (
 	"repro/internal/sim"
 )
 
-func hp() *Disk { return New(HP3725(), sim.NewRNG(1)) }
+func hp() *Disk { return MustNew(HP3725(), sim.NewRNG(1)) }
 
 func TestRandomAccessNear14ms(t *testing.T) {
 	// §7.1: "All three systems converge to 14ms for random seeks to blocks
@@ -130,18 +130,21 @@ func TestAccessPanicsOnZeroBytes(t *testing.T) {
 	hp().Access(0, 0, false)
 }
 
-func TestNewPanicsOnBadGeometry(t *testing.T) {
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(Geometry{CapacityMB: 100, TransferMBs: 1, RPM: 5400}, sim.NewRNG(0)); err == nil {
+		t.Fatal("New with zero cylinders did not return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("New with zero cylinders did not panic")
+			t.Fatal("MustNew with zero cylinders did not panic")
 		}
 	}()
-	New(Geometry{CapacityMB: 100, TransferMBs: 1, RPM: 5400}, sim.NewRNG(0))
+	MustNew(Geometry{CapacityMB: 100, TransferMBs: 1, RPM: 5400}, sim.NewRNG(0))
 }
 
 func TestBothPaperDisksConstruct(t *testing.T) {
 	for _, g := range []Geometry{QuantumEmpire2100(), HP3725()} {
-		d := New(g, sim.NewRNG(0))
+		d := MustNew(g, sim.NewRNG(0))
 		if d.Blocks() <= 0 {
 			t.Errorf("%s has no blocks", g.Name)
 		}
@@ -152,7 +155,7 @@ func TestBothPaperDisksConstruct(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, b := New(HP3725(), sim.NewRNG(5)), New(HP3725(), sim.NewRNG(5))
+	a, b := MustNew(HP3725(), sim.NewRNG(5)), MustNew(HP3725(), sim.NewRNG(5))
 	rngA, rngB := sim.NewRNG(7), sim.NewRNG(7)
 	for i := 0; i < 500; i++ {
 		ta := a.Access(rngA.Int63n(a.Blocks()), 8192, i%3 == 0)

@@ -10,7 +10,7 @@ import (
 // Seeks counts arm movements: random accesses seek, a streaming
 // continuation does not.
 func TestSeekCounter(t *testing.T) {
-	d := New(HP3725(), sim.NewRNG(1))
+	d := MustNew(HP3725(), sim.NewRNG(1))
 	d.Access(1000, BlockSize, false)
 	d.Access(200000, BlockSize, false)
 	if got := d.Stats().Seeks; got != 2 {
@@ -30,7 +30,7 @@ func TestSeekCounter(t *testing.T) {
 // FoldMetrics lands every counter under the prefix, with times in
 // microseconds.
 func TestDiskFoldMetrics(t *testing.T) {
-	d := New(QuantumEmpire2100(), sim.NewRNG(2))
+	d := MustNew(QuantumEmpire2100(), sim.NewRNG(2))
 	d.Access(10, BlockSize, true)
 	d.Access(90000, BlockSize, false)
 	d.StreamTransferTime(BlockSize)

@@ -51,6 +51,32 @@ func NewBufferCache(capacityBytes, dirtyLimitBytes, blockSize int64) *BufferCach
 // Capacity returns the cache capacity in bytes.
 func (c *BufferCache) Capacity() int64 { return c.capacity }
 
+// SetCapacity resizes the cache mid-run — the VM system stealing pages
+// back under memory pressure (or returning them). Shrinking below the
+// resident set evicts from the LRU tail; evicted dirty blocks are
+// returned for the file system to charge as write-back, exactly like
+// Insert's evictions. The dirty limit is clamped to the new capacity.
+func (c *BufferCache) SetCapacity(bytes int64) (writeBack []int64) {
+	if bytes <= 0 {
+		bytes = c.blockSize
+	}
+	c.capacity = bytes
+	if c.dirtyLimit > c.capacity {
+		c.dirtyLimit = c.capacity
+	}
+	for c.bytes > c.capacity {
+		victim := c.tail
+		if victim == nil {
+			break
+		}
+		if victim.dirty {
+			writeBack = append(writeBack, victim.blk)
+		}
+		c.drop(victim)
+	}
+	return writeBack
+}
+
 // Bytes returns the bytes currently cached.
 func (c *BufferCache) Bytes() int64 { return c.bytes }
 

@@ -15,7 +15,7 @@ import (
 func Example() {
 	for _, p := range []*osprofile.Profile{osprofile.Linux128(), osprofile.FreeBSD205()} {
 		clock := &sim.Clock{}
-		fsys := fs.New(clock, disk.New(disk.HP3725(), sim.NewRNG(1)), p)
+		fsys := fs.MustNew(clock, disk.MustNew(disk.HP3725(), sim.NewRNG(1)), p)
 
 		f, _ := fsys.Create("/tmp.file")
 		f.Write(1024)

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
@@ -88,16 +89,58 @@ type FileSystem struct {
 	rec       *obs.Recorder
 	fsTrack   obs.TrackID
 	diskTrack obs.TrackID
+
+	// cacheInj, when non-nil, applies page-steal pressure per operation
+	// (see SetFaults).
+	cacheInj *fault.CacheInjector
 }
 
 // New mounts a fresh file system for the given OS personality on the disk.
 // The clock is shared with whatever machine drives the workload; all
-// operation costs are charged to it.
-func New(clock *sim.Clock, d *disk.Disk, os *osprofile.Profile) *FileSystem {
+// operation costs are charged to it. A personality whose file-system
+// parameters cannot mount (zero cache budget) is a returned error, never
+// a panic.
+func New(clock *sim.Clock, d *disk.Disk, os *osprofile.Profile) (*FileSystem, error) {
+	if int64(os.FS.BufferCacheMB)<<20 <= 0 {
+		return nil, fmt.Errorf("fs: %s: buffer cache budget must be positive (have %d MB)",
+			os, os.FS.BufferCacheMB)
+	}
 	f := &FileSystem{clock: clock, d: d, os: os}
 	f.partitionLen = d.Blocks()
 	f.Remake()
+	return f, nil
+}
+
+// MustNew is New for the built-in personalities, whose parameters are
+// validated at load time.
+func MustNew(clock *sim.Clock, d *disk.Disk, os *osprofile.Profile) *FileSystem {
+	f, err := New(clock, d, os)
+	if err != nil {
+		panic(err)
+	}
 	return f
+}
+
+// SetFaults attaches a run's fault injectors: the cache injector steals
+// buffer-cache pages between operations, and the disk injector is
+// forwarded to the underlying disk. Zero-value injectors detach.
+func (f *FileSystem) SetFaults(inj fault.Injectors) {
+	f.cacheInj = inj.Cache
+	f.d.SetFaults(inj.Disk)
+}
+
+// maybeSteal draws one page-steal decision and, when it fires, shrinks
+// the cache and charges the write-back of the dirty blocks it evicts —
+// through flushBlock, so the phase ledger stays exact under pressure.
+func (f *FileSystem) maybeSteal() {
+	if f.cacheInj == nil {
+		return
+	}
+	if target, ok := f.cacheInj.StealTarget(f.cache.Capacity()); ok {
+		for _, blk := range f.cache.SetCapacity(target) {
+			f.flushBlock(blk)
+		}
+	}
 }
 
 // Remake re-creates the file system, as the paper did between benchmarks
@@ -515,6 +558,7 @@ func (fl *File) writeAt(off, n int64, random bool) {
 	}
 	k := &f.os.Kernel
 	fsc := &f.os.FS
+	f.maybeSteal()
 	f.charge(PhaseVFS, k.Syscall+k.ReadWriteExtra)
 	if random {
 		f.charge(PhaseVFS, fsc.RandomIOOverhead)
@@ -609,6 +653,7 @@ func (fl *File) readAt(off, n int64, random bool) int64 {
 	}
 	k := &f.os.Kernel
 	fsc := &f.os.FS
+	f.maybeSteal()
 	f.charge(PhaseVFS, k.Syscall+k.ReadWriteExtra)
 	if random {
 		f.charge(PhaseVFS, fsc.RandomIOOverhead)

@@ -16,8 +16,8 @@ type rig struct {
 
 func newRig(p *osprofile.Profile) *rig {
 	clock := &sim.Clock{}
-	d := disk.New(disk.HP3725(), sim.NewRNG(7))
-	return &rig{clock: clock, fs: New(clock, d, p)}
+	d := disk.MustNew(disk.HP3725(), sim.NewRNG(7))
+	return &rig{clock: clock, fs: MustNew(clock, d, p)}
 }
 
 func (r *rig) elapsed(fn func()) sim.Duration {

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/cpu"
@@ -10,13 +12,13 @@ import (
 )
 
 func newLinux() *Machine {
-	return NewMachine(cpu.PentiumP54C100(), osprofile.Linux128(), sim.NewRNG(1))
+	return MustMachine(cpu.PentiumP54C100(), osprofile.Linux128(), sim.NewRNG(1))
 }
 func newFreeBSD() *Machine {
-	return NewMachine(cpu.PentiumP54C100(), osprofile.FreeBSD205(), sim.NewRNG(1))
+	return MustMachine(cpu.PentiumP54C100(), osprofile.FreeBSD205(), sim.NewRNG(1))
 }
 func newSolaris() *Machine {
-	return NewMachine(cpu.PentiumP54C100(), osprofile.Solaris24(), sim.NewRNG(1))
+	return MustMachine(cpu.PentiumP54C100(), osprofile.Solaris24(), sim.NewRNG(1))
 }
 
 func TestGetpidChargesSyscall(t *testing.T) {
@@ -609,5 +611,46 @@ func TestObserveDoesNotPerturbTiming(t *testing.T) {
 	}
 	if plain, observed := run(false), run(true); plain != observed {
 		t.Fatalf("observability changed the result: %v vs %v", plain, observed)
+	}
+}
+
+func TestRunCheckedSurfacesDeadlockError(t *testing.T) {
+	m := newLinux()
+	rec := obs.NewRecorder(m.Clock())
+	m.Observe(rec)
+	pipe := m.NewPipe()
+	m.Spawn("stuck-reader", func(p *Proc) { p.Read(pipe, 1) })
+	m.Spawn("worker", func(p *Proc) { p.Charge(2 * sim.Millisecond) })
+
+	err := m.RunChecked()
+	if err == nil {
+		t.Fatal("RunChecked returned nil on a deadlocked machine")
+	}
+	var d *sim.DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("RunChecked returned %T, want *sim.DeadlockError", err)
+	}
+	if len(d.Blocked) != 1 || !strings.Contains(d.Blocked[0], "stuck-reader") {
+		t.Errorf("Blocked = %v, want the stuck reader", d.Blocked)
+	}
+	if d.Now == 0 {
+		t.Error("deadlock carries no virtual timestamp")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("error line %q does not say deadlock", err)
+	}
+	// The run was observed, so the diagnostic dump shows each track's
+	// last activity instead of leaving the user with a bare one-liner.
+	if !strings.Contains(d.Dump, "last activity per track") ||
+		!strings.Contains(d.Dump, "stuck-reader") {
+		t.Errorf("dump missing track activity:\n%s", d.Dump)
+	}
+}
+
+func TestRunCheckedCleanRunReturnsNil(t *testing.T) {
+	m := newLinux()
+	m.Spawn("worker", func(p *Proc) { p.Charge(sim.Millisecond) })
+	if err := m.RunChecked(); err != nil {
+		t.Fatalf("RunChecked = %v on a clean run", err)
 	}
 }

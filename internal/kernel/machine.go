@@ -18,6 +18,7 @@ package kernel
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cpu"
 	"repro/internal/obs"
@@ -112,10 +113,26 @@ type Machine struct {
 
 // NewMachine builds a machine running the given OS personality. The RNG
 // seeds stochastic elements (none in the kernel proper, but subsystems
-// fork from it).
-func NewMachine(c cpu.CPU, os *osprofile.Profile, rng *sim.RNG) *Machine {
+// fork from it). A personality the kernel cannot schedule for (a
+// hand-edited profile with an unknown scheduler kind) is a returned
+// error, never a panic.
+func NewMachine(c cpu.CPU, os *osprofile.Profile, rng *sim.RNG) (*Machine, error) {
 	m := &Machine{cpu: c, os: os, rng: rng, nextPID: 1}
-	m.sched = newScheduler(m)
+	sched, err := newScheduler(m)
+	if err != nil {
+		return nil, err
+	}
+	m.sched = sched
+	return m, nil
+}
+
+// MustMachine is NewMachine for the built-in personalities, whose
+// scheduler kinds are compile-time constants.
+func MustMachine(c cpu.CPU, os *osprofile.Profile, rng *sim.RNG) *Machine {
+	m, err := NewMachine(c, os, rng)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 
@@ -240,16 +257,78 @@ func (m *Machine) schedule() {
 }
 
 // Run starts the machine: every spawned process runs until it exits or
-// blocks forever. Run panics if processes remain blocked with nothing
-// runnable and Shutdown was not requested — in a benchmark that is always
-// a deadlock bug.
+// blocks forever. Run panics with a *sim.DeadlockError if processes
+// remain blocked with nothing runnable and Shutdown was not requested —
+// in a benchmark that is always a deadlock bug. The panic carries a
+// diagnostic dump built from the machine's span buffer; callers that
+// want an error instead use RunChecked, and the CLI recovers the typed
+// value at its dispatch boundary to print the dump rather than a Go
+// stack trace.
 func (m *Machine) Run() {
 	m.schedule()
+	var blocked []string
 	for _, p := range m.procs {
 		if p.state == procBlocked {
-			panic(fmt.Sprintf("kernel: deadlock: process %d (%s) blocked with empty run queue", p.pid, p.name))
+			blocked = append(blocked, fmt.Sprintf("%d (%s)", p.pid, p.name))
 		}
 	}
+	if len(blocked) > 0 {
+		panic(&sim.DeadlockError{Now: m.clock.Now(), Blocked: blocked, Dump: m.deadlockDump()})
+	}
+}
+
+// RunChecked is Run with the deadlock watchdog surfaced as an error
+// instead of a panic. Other panics (internal invariant violations)
+// still propagate.
+func (m *Machine) RunChecked() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if dl, ok := r.(*sim.DeadlockError); ok {
+				err = dl
+				return
+			}
+			panic(r)
+		}
+	}()
+	m.Run()
+	return nil
+}
+
+// deadlockDump renders the tail of the machine's span buffer: the most
+// recent events on each track, so a deadlock report shows what every
+// timeline was last doing. Empty when the run is not observed.
+func (m *Machine) deadlockDump() string {
+	if m.rec == nil {
+		return ""
+	}
+	events := m.rec.Events()
+	if len(events) == 0 {
+		return ""
+	}
+	const perTrack = 4
+	tracks := m.rec.Tracks()
+	var b strings.Builder
+	fmt.Fprintf(&b, "last activity per track (%d events buffered, %d dropped):",
+		len(events), m.rec.Dropped())
+	for id, name := range tracks {
+		var tail []obs.Event
+		for _, e := range events {
+			if int(e.Track) == id {
+				tail = append(tail, e)
+				if len(tail) > perTrack {
+					tail = tail[1:]
+				}
+			}
+		}
+		if len(tail) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %s:", name)
+		for _, e := range tail {
+			fmt.Fprintf(&b, "\n    t=%v %s %s", sim.Duration(e.When).Std(), e.Kind, e.Name)
+		}
+	}
+	return b.String()
 }
 
 // RunDrain is Run for workloads that intentionally leave blocked

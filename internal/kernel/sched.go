@@ -1,6 +1,10 @@
 package kernel
 
-import "repro/internal/osprofile"
+import (
+	"fmt"
+
+	"repro/internal/osprofile"
+)
 
 // The three scheduler structures of §5, implemented literally. Each keeps
 // its own ready structure and reports the pick cost its mechanics imply.
@@ -28,21 +32,22 @@ type pickCost struct {
 	tableMiss bool
 }
 
-// newScheduler builds the structure for a personality.
-func newScheduler(m *Machine) scheduler {
+// newScheduler builds the structure for a personality. An unknown
+// scheduler kind (a hand-edited profile JSON) is a returned error.
+func newScheduler(m *Machine) (scheduler, error) {
 	switch m.os.Kernel.Scheduler {
 	case osprofile.SchedScanAll:
-		return &scanAllSched{m: m}
+		return &scanAllSched{m: m}, nil
 	case osprofile.SchedRunQueues:
-		return &runQueueSched{}
+		return &runQueueSched{}, nil
 	case osprofile.SchedPreemptiveMT:
 		s := &preemptiveSched{}
 		if m.os.Kernel.CtxTableSize > 0 {
 			s.table = newLRUTable(m.os.Kernel.CtxTableSize)
 		}
-		return s
+		return s, nil
 	}
-	panic("kernel: unknown scheduler kind")
+	return nil, fmt.Errorf("kernel: %s: unknown scheduler kind %d", m.os, int(m.os.Kernel.Scheduler))
 }
 
 // scanAllSched is Linux 1.2's schedule(): on every dispatch it walks the

@@ -114,7 +114,7 @@ const DefaultPrefetchDistance = 1
 // configuration. The passes issue run-length accesses, which the fast
 // hierarchy resolves with one tag lookup per cache line.
 func NewModel(c cpu.CPU, cfg cache.Config) *Model {
-	return newModelOn(c, cache.New(cfg))
+	return newModelOn(c, cache.MustNew(cfg))
 }
 
 // NewRefModel builds the model over the per-access reference hierarchy
@@ -122,7 +122,7 @@ func NewModel(c cpu.CPU, cfg cache.Config) *Model {
 // the fast path's defining invariant — just slower to simulate; core's
 // differential suite test and the property tests here rely on it.
 func NewRefModel(c cpu.CPU, cfg cache.Config) *Model {
-	return newModelOn(c, cache.NewRef(cfg))
+	return newModelOn(c, cache.MustRef(cfg))
 }
 
 func newModelOn(c cpu.CPU, sim cache.Sim) *Model {

@@ -13,11 +13,11 @@ import (
 func Example() {
 	const transfer = 3 << 20 // lmbench bw_tcp: 3 MB
 
-	fb := netstack.NewTCP(osprofile.FreeBSD205())
+	fb := netstack.MustTCP(osprofile.FreeBSD205())
 	fmt.Printf("FreeBSD, %2d-packet window: %5.1f Mb/s\n",
 		fb.Window(), netstack.BandwidthMbps(transfer, fb.Transfer(transfer)))
 
-	lx := netstack.NewTCP(osprofile.Linux128())
+	lx := netstack.MustTCP(osprofile.Linux128())
 	fmt.Printf("Linux,   %2d-packet window: %5.1f Mb/s\n",
 		lx.Window(), netstack.BandwidthMbps(transfer, lx.Transfer(transfer)))
 

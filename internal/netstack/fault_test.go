@@ -1,0 +1,104 @@
+package netstack
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+func netInjector(t *testing.T, plan *fault.Plan, seed uint64) *fault.NetInjector {
+	t.Helper()
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(plan, sim.NewRNG(seed))
+	if inj.Net == nil {
+		t.Fatal("plan built no network injector")
+	}
+	return inj.Net
+}
+
+// A faulted TCP transfer keeps the time identity exact: SegTime + AckTime
+// + SwitchTime + FaultTime equals elapsed to the nanosecond, the
+// unfaulted ledger terms match a clean run of the same transfer, and the
+// whole thing replays bit-identically from the same seed.
+func TestTCPFaultedTimeIdentity(t *testing.T) {
+	plan := &fault.Plan{Net: fault.NetFaults{
+		TCPSegLossProb: 0.05,
+		AckDelayUs:     200,
+		RTOMs:          50,
+		BackoffFactor:  2,
+		MaxBackoffMs:   800,
+	}}
+	const size = 1 << 20
+	for _, p := range osprofile.Paper() {
+		t.Run(p.Name, func(t *testing.T) {
+			clean := MustTCP(p)
+			cleanElapsed, cleanStats := clean.TransferObserved(size, nil)
+
+			run := func(seed uint64) (sim.Duration, TCPStats) {
+				tcp := MustTCP(p)
+				tcp.Faults = netInjector(t, plan, seed)
+				return tcp.TransferObserved(size, nil)
+			}
+			elapsed, st := run(7)
+			if sum := st.SegTime + st.AckTime + st.SwitchTime + st.FaultTime; sum != elapsed {
+				t.Fatalf("ledger %v != elapsed %v (stats %+v)", sum, elapsed, st)
+			}
+			if st.Retransmits == 0 {
+				t.Fatal("no segments lost at 5% over a 1 MB transfer")
+			}
+			if st.FaultTime == 0 || elapsed <= cleanElapsed {
+				t.Errorf("faults added no time: %v vs clean %v", elapsed, cleanElapsed)
+			}
+			// Loss and ack delay perturb only the fault term: the clean
+			// ledger terms per segment/ack are untouched.
+			if st.Segments != cleanStats.Segments || st.SegTime != cleanStats.SegTime {
+				t.Errorf("faults changed the unfaulted segment ledger: %d/%v vs %d/%v",
+					st.Segments, st.SegTime, cleanStats.Segments, cleanStats.SegTime)
+			}
+			elapsed2, st2 := run(7)
+			if elapsed2 != elapsed || st2 != st {
+				t.Error("same seed did not replay bit-identically")
+			}
+		})
+	}
+}
+
+// A faulted UDP transfer keeps its own identity — PerPacket + Copy +
+// Syscall + FaultTime equals Total() — and loss is fire-and-forget:
+// counted, never charged. Only duplication costs time.
+func TestUDPFaultedTransfer(t *testing.T) {
+	lossOnly := &fault.Plan{Net: fault.NetFaults{UDPLossProb: 0.3}}
+	u := MustUDP(osprofile.FreeBSD205())
+	cleanTotal := u.Transfer(1<<20, 8192)
+
+	u.Faults = netInjector(t, lossOnly, 11)
+	st := u.TransferStats(1<<20, 8192)
+	if st.Total() != cleanTotal || st.FaultTime != 0 {
+		t.Errorf("pure loss changed ttcp send time: %v vs %v (fault %v)",
+			st.Total(), cleanTotal, st.FaultTime)
+	}
+	if u.Faults.UDPLost == 0 {
+		t.Error("no datagrams counted lost at 30%")
+	}
+
+	dups := &fault.Plan{Net: fault.NetFaults{UDPDupProb: 0.2, UDPReorderProb: 0.3}}
+	u2 := MustUDP(osprofile.FreeBSD205())
+	u2.Faults = netInjector(t, dups, 11)
+	st2 := u2.TransferStats(1<<20, 8192)
+	if sum := st2.PerPacket + st2.Copy + st2.Syscall + st2.FaultTime; sum != st2.Total() {
+		t.Fatalf("UDP ledger %v != total %v", sum, st2.Total())
+	}
+	if st2.FaultTime == 0 || u2.Faults.UDPDuplicated == 0 {
+		t.Error("duplicates charged nothing")
+	}
+	if u2.Faults.UDPReordered == 0 {
+		t.Error("no reorders counted at 30%")
+	}
+	if st2.Total() <= cleanTotal {
+		t.Error("duplicated datagrams did not slow the transfer")
+	}
+}

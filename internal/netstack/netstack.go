@@ -16,6 +16,7 @@ package netstack
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
@@ -24,10 +25,36 @@ import (
 // UDP models a datagram path between two processes over loopback.
 type UDP struct {
 	os *osprofile.Profile
+	// Faults, when non-nil, perturbs datagrams (loss, duplication,
+	// reordering). Nil is the unfaulted path, byte-identical to builds
+	// without the fault layer.
+	Faults *fault.NetInjector
 }
 
-// NewUDP builds the UDP model for a personality.
-func NewUDP(p *osprofile.Profile) *UDP { return &UDP{os: p} }
+// NewUDP builds the UDP model for a personality. A personality whose
+// network parameters cannot carry datagrams is a returned error.
+func NewUDP(p *osprofile.Profile) (*UDP, error) {
+	if p.Net.UDPMaxDatagram <= 0 {
+		return nil, fmt.Errorf("netstack: %s: max datagram must be positive (have %d)",
+			p, p.Net.UDPMaxDatagram)
+	}
+	return &UDP{os: p}, nil
+}
+
+// MustUDP is NewUDP for the built-in personalities, whose parameters are
+// validated at load time.
+func MustUDP(p *osprofile.Profile) *UDP {
+	u, err := NewUDP(p)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// MaxDatagram returns the personality's largest sendable datagram.
+// Workloads clamp their packet size to it (a real ttcp would get
+// EMSGSIZE past it).
+func (u *UDP) MaxDatagram() int { return u.os.Net.UDPMaxDatagram }
 
 // PacketTime returns the CPU time one datagram of the given payload size
 // consumes end to end: sender syscall and packetisation, the copies down
@@ -69,22 +96,60 @@ func (u *UDP) PacketBreakdown(size int) UDPBreakdown {
 	}
 }
 
+// UDPTransferStats decomposes a datagram transfer into the components
+// its time went to. PerPacket + Copy + Syscall + FaultTime equals the
+// transfer's elapsed time exactly.
+type UDPTransferStats struct {
+	// Packets is the number of datagrams sent.
+	Packets int
+	// PerPacket, Copy and Syscall attribute the unfaulted CPU time.
+	PerPacket, Copy, Syscall sim.Duration
+	// FaultTime is time added by injected faults (duplicate deliveries).
+	FaultTime sim.Duration
+}
+
+// Total returns the summed transfer time.
+func (s UDPTransferStats) Total() sim.Duration {
+	return s.PerPacket + s.Copy + s.Syscall + s.FaultTime
+}
+
 // Transfer returns the time to move totalBytes in datagrams of the given
 // size (the ttcp workload: 4 MB per iteration, §9.2).
 func (u *UDP) Transfer(totalBytes, packetSize int) sim.Duration {
+	return u.TransferStats(totalBytes, packetSize).Total()
+}
+
+// TransferStats is Transfer with the per-component decomposition. With a
+// fault injector attached, each datagram draws its fate: a lost datagram
+// is fire-and-forget (ttcp over UDP never retransmits — the send cost is
+// already paid and the loss shows only in the counters), a duplicated
+// datagram charges the receive-side share of a packet time again, and a
+// reordered datagram is counted but uncharged (UDP does not resequence).
+func (u *UDP) TransferStats(totalBytes, packetSize int) UDPTransferStats {
 	if totalBytes <= 0 {
 		panic("netstack: transfer size must be positive")
 	}
-	var t sim.Duration
+	var st UDPTransferStats
 	for sent := 0; sent < totalBytes; {
 		n := packetSize
 		if rem := totalBytes - sent; n > rem {
 			n = rem
 		}
-		t += u.PacketTime(n)
+		b := u.PacketBreakdown(n)
+		st.Packets++
+		st.PerPacket += b.PerPacket
+		st.Copy += b.Copy
+		st.Syscall += b.Syscall
+		u.Faults.DropUDP()
+		if u.Faults.DupUDP() {
+			// The copy arrives too: the receiver repeats its half of the
+			// packet processing and delivery work.
+			st.FaultTime += b.Total() / 2
+		}
+		u.Faults.ReorderUDP()
 		sent += n
 	}
-	return t
+	return st
 }
 
 // BandwidthMbps converts a transfer into megabits per second.
@@ -101,10 +166,34 @@ type TCP struct {
 	// WindowOverride, when positive, replaces the personality's window
 	// (ablation A5). Zero means use the profile.
 	WindowOverride int
+	// Faults, when non-nil, injects segment loss (retransmit after an
+	// RTO with exponential backoff) and delayed acknowledgements. Nil is
+	// the unfaulted path, byte-identical to builds without the layer.
+	Faults *fault.NetInjector
 }
 
-// NewTCP builds the TCP model for a personality.
-func NewTCP(p *osprofile.Profile) *TCP { return &TCP{os: p} }
+// NewTCP builds the TCP model for a personality. A personality that
+// cannot form segments is a returned error.
+func NewTCP(p *osprofile.Profile) (*TCP, error) {
+	if p.Net.MSS <= 0 {
+		return nil, fmt.Errorf("netstack: %s: MSS must be positive (have %d)", p, p.Net.MSS)
+	}
+	if p.Net.TCPWindowPackets <= 0 {
+		return nil, fmt.Errorf("netstack: %s: TCP window must be positive (have %d packets)",
+			p, p.Net.TCPWindowPackets)
+	}
+	return &TCP{os: p}, nil
+}
+
+// MustTCP is NewTCP for the built-in personalities, whose parameters are
+// validated at load time.
+func MustTCP(p *osprofile.Profile) *TCP {
+	t, err := NewTCP(p)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
 
 // Window returns the effective send window in packets.
 func (t *TCP) Window() int {
@@ -123,8 +212,8 @@ func (t *TCP) segTime(payload int) sim.Duration {
 
 // TCPStats decomposes a Transfer: the event counts of the sliding-window
 // walk and the time each activity consumed. SegTime + AckTime +
-// SwitchTime equals the elapsed transfer time exactly — every duration
-// the walk accrues is tagged with one of the three.
+// SwitchTime + FaultTime equals the elapsed transfer time exactly —
+// every duration the walk accrues is tagged with one of the four.
 type TCPStats struct {
 	// Segments is the number of MSS-or-smaller segments sent.
 	Segments uint64
@@ -136,12 +225,18 @@ type TCPStats struct {
 	WindowStalls uint64
 	// Switches is the number of scheduler switches (two per ack cycle).
 	Switches uint64
-	// SegTime, AckTime and SwitchTime attribute the elapsed time.
+	// Retransmits counts segments re-sent after injected loss.
+	Retransmits uint64
+	// SegTime, AckTime and SwitchTime attribute the unfaulted time.
 	SegTime, AckTime, SwitchTime sim.Duration
+	// FaultTime is injected time: wasted transmissions, RTO waits, and
+	// delayed acks. Zero without a fault injector.
+	FaultTime sim.Duration
 }
 
 // FoldMetrics adds the transfer decomposition into a registry under the
-// given prefix (e.g. "tcp.").
+// given prefix (e.g. "tcp."). Fault counters fold only when faults
+// actually fired, so unfaulted metric snapshots are unchanged.
 func (s TCPStats) FoldMetrics(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + "segments").Add(float64(s.Segments))
 	reg.Counter(prefix + "acks").Add(float64(s.Acks))
@@ -150,6 +245,10 @@ func (s TCPStats) FoldMetrics(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + "seg_us").Add(s.SegTime.Microseconds())
 	reg.Counter(prefix + "ack_us").Add(s.AckTime.Microseconds())
 	reg.Counter(prefix + "switch_us").Add(s.SwitchTime.Microseconds())
+	if s.Retransmits > 0 || s.FaultTime > 0 {
+		reg.Counter(prefix + "retransmits").Add(float64(s.Retransmits))
+		reg.Counter(prefix + "fault_us").Add(s.FaultTime.Microseconds())
+	}
 }
 
 // Transfer simulates moving totalBytes through the connection and returns
@@ -204,6 +303,17 @@ func (t *TCP) TransferObserved(totalBytes int, rec *obs.Recorder) (sim.Duration,
 					payload = remaining
 				}
 				d := t.segTime(payload)
+				// Injected segment loss: the transmission was wasted, the
+				// sender sits out the retransmit timeout (exponential
+				// backoff on repeated loss of the same segment), then
+				// sends again. Both the wasted CPU and the wait are fault
+				// time, keeping the unfaulted ledger terms untouched.
+				for attempt := 0; t.Faults.DropSegment(); attempt++ {
+					w := t.Faults.RTOWait(attempt)
+					elapsed += d + w
+					st.FaultTime += d + w
+					st.Retransmits++
+				}
 				elapsed += d
 				st.Segments++
 				st.SegTime += d
@@ -226,12 +336,16 @@ func (t *TCP) TransferObserved(totalBytes int, rec *obs.Recorder) (sim.Duration,
 		}
 		drainStart := elapsed
 		elapsed += switchCost
-		elapsed += n.AckCost
+		// An injected delayed ack holds the cumulative ack back; the
+		// sender's window stays shut for the duration.
+		ackExtra := t.Faults.AckDelay()
+		elapsed += n.AckCost + ackExtra
 		elapsed += switchCost
 		st.Switches += 2
 		st.SwitchTime += 2 * switchCost
 		st.Acks++
 		st.AckTime += n.AckCost
+		st.FaultTime += ackExtra
 		if rec.Enabled() {
 			rec.BeginAt(sim.Time(drainStart), recvTrack, "drain+ack")
 			rec.EndAt(sim.Time(elapsed), recvTrack, "drain+ack", float64(inFlight))

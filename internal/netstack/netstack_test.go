@@ -11,7 +11,7 @@ import (
 func TestUDPPeakOrdering(t *testing.T) {
 	// Figure 13 at large packets: FreeBSD ~50 > Solaris ~32 > Linux ~16.
 	bw := func(p *osprofile.Profile) float64 {
-		u := NewUDP(p)
+		u := MustUDP(p)
 		return BandwidthMbps(4<<20, u.Transfer(4<<20, 8192))
 	}
 	l, f, s := bw(osprofile.Linux128()), bw(osprofile.FreeBSD205()), bw(osprofile.Solaris24())
@@ -31,7 +31,7 @@ func TestUDPPeakOrdering(t *testing.T) {
 
 func TestUDPBandwidthGrowsWithPacketSize(t *testing.T) {
 	// Figure 13's shape: per-packet costs dominate small datagrams.
-	u := NewUDP(osprofile.FreeBSD205())
+	u := MustUDP(osprofile.FreeBSD205())
 	var prev float64
 	for _, size := range []int{128, 512, 1024, 4096, 8192} {
 		bw := BandwidthMbps(4<<20, u.Transfer(4<<20, size))
@@ -47,7 +47,7 @@ func TestUDPHalfOfPipeBandwidth(t *testing.T) {
 	// bandwidth; Linux's at ~14% of its own.
 	pipeBW := map[string]float64{"Linux": 119.36, "FreeBSD": 98.03, "Solaris": 65.38}
 	for _, p := range osprofile.Paper() {
-		u := NewUDP(p)
+		u := MustUDP(p)
 		bw := BandwidthMbps(4<<20, u.Transfer(4<<20, 8192))
 		frac := bw / pipeBW[p.Name]
 		switch p.Name {
@@ -71,7 +71,7 @@ func TestTCPTable5(t *testing.T) {
 		"Solaris": {54, 66},
 	}
 	for _, p := range osprofile.Paper() {
-		c := NewTCP(p)
+		c := MustTCP(p)
 		bw := BandwidthMbps(3<<20, c.Transfer(3<<20))
 		if lo, hi := want[p.Name][0], want[p.Name][1]; bw < lo || bw > hi {
 			t.Errorf("%s TCP = %.2f Mb/s, want [%v, %v]", p.Name, bw, lo, hi)
@@ -84,7 +84,7 @@ func TestLinuxWindowAblation(t *testing.T) {
 	// FreeBSD.
 	var prev float64
 	for _, w := range []int{1, 2, 4, 8, 16, 32} {
-		c := NewTCP(osprofile.Linux128())
+		c := MustTCP(osprofile.Linux128())
 		c.WindowOverride = w
 		bw := BandwidthMbps(3<<20, c.Transfer(3<<20))
 		if bw < prev {
@@ -98,7 +98,7 @@ func TestLinuxWindowAblation(t *testing.T) {
 }
 
 func TestTCPWindowAccessors(t *testing.T) {
-	c := NewTCP(osprofile.Solaris24())
+	c := MustTCP(osprofile.Solaris24())
 	if c.Window() != osprofile.Solaris24().Net.TCPWindowPackets {
 		t.Fatal("Window() must reflect the profile")
 	}
@@ -109,7 +109,7 @@ func TestTCPWindowAccessors(t *testing.T) {
 }
 
 func TestTransferScalesLinearly(t *testing.T) {
-	c := NewTCP(osprofile.FreeBSD205())
+	c := MustTCP(osprofile.FreeBSD205())
 	t1 := c.Transfer(1 << 20)
 	t4 := c.Transfer(4 << 20)
 	ratio := float64(t4) / float64(t1)
@@ -119,8 +119,8 @@ func TestTransferScalesLinearly(t *testing.T) {
 }
 
 func TestPanicsOnBadSizes(t *testing.T) {
-	u := NewUDP(osprofile.Linux128())
-	c := NewTCP(osprofile.Linux128())
+	u := MustUDP(osprofile.Linux128())
+	c := MustTCP(osprofile.Linux128())
 	l := Ethernet10()
 	cases := []func(){
 		func() { u.PacketTime(0) },
@@ -164,7 +164,7 @@ func TestBandwidthMbpsZeroDuration(t *testing.T) {
 
 // Property: TCP transfer time is monotone in transfer size and positive.
 func TestTCPMonotoneProperty(t *testing.T) {
-	c := NewTCP(osprofile.Solaris24())
+	c := MustTCP(osprofile.Solaris24())
 	f := func(a, b uint16) bool {
 		x, y := int(a)+1, int(a)+1+int(b)
 		return c.Transfer(x) > 0 && c.Transfer(y) >= c.Transfer(x)
@@ -176,7 +176,7 @@ func TestTCPMonotoneProperty(t *testing.T) {
 
 // Property: UDP transfer equals the sum of its packets.
 func TestUDPCompositionProperty(t *testing.T) {
-	u := NewUDP(osprofile.FreeBSD205())
+	u := MustUDP(osprofile.FreeBSD205())
 	f := func(nPackets uint8, size uint16) bool {
 		n := int(nPackets%20) + 1
 		s := int(size%8192) + 1

@@ -13,7 +13,7 @@ import (
 func TestTransferObservedMatchesTransfer(t *testing.T) {
 	const total = 4 << 20
 	for _, p := range osprofile.All() {
-		tcp := NewTCP(p)
+		tcp := MustTCP(p)
 		plain := tcp.Transfer(total)
 		elapsed, st := tcp.TransferObserved(total, nil)
 		if elapsed != plain {
@@ -31,7 +31,7 @@ func TestTransferObservedMatchesTransfer(t *testing.T) {
 // A window of one packet stalls on every segment but the last — the
 // Table 5 Linux collapse as a counter.
 func TestWindowStallsAtWindowOne(t *testing.T) {
-	tcp := NewTCP(osprofile.FreeBSD205())
+	tcp := MustTCP(osprofile.FreeBSD205())
 	tcp.WindowOverride = 1
 	const total = 64 << 10
 	_, st := tcp.TransferObserved(total, nil)
@@ -43,7 +43,7 @@ func TestWindowStallsAtWindowOne(t *testing.T) {
 // Tracing a transfer emits balanced spans on the sender and receiver
 // tracks without changing the result.
 func TestTransferObservedSpans(t *testing.T) {
-	tcp := NewTCP(osprofile.Solaris24())
+	tcp := MustTCP(osprofile.Solaris24())
 	const total = 256 << 10
 	plain, _ := tcp.TransferObserved(total, nil)
 
@@ -91,7 +91,7 @@ func TestTransferObservedSpans(t *testing.T) {
 // The UDP breakdown's parts sum to PacketTime exactly.
 func TestUDPPacketBreakdown(t *testing.T) {
 	for _, p := range osprofile.All() {
-		u := NewUDP(p)
+		u := MustUDP(p)
 		for _, size := range []int{64, 1024, 8192} {
 			b := u.PacketBreakdown(size)
 			if b.Total() != u.PacketTime(size) {

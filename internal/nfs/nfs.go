@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/netstack"
 	"repro/internal/osprofile"
@@ -47,12 +48,25 @@ type Server struct {
 }
 
 // NewServer builds a server running the given personality on a disk with
-// the given geometry.
-func NewServer(p *osprofile.Profile, geom disk.Geometry, seed uint64) *Server {
+// the given geometry. Invalid geometry or an unusable personality is a
+// returned error.
+func NewServer(p *osprofile.Profile, geom disk.Geometry, seed uint64) (*Server, error) {
 	s := &Server{prof: p}
-	s.fsys = fs.New(&s.clock, disk.New(geom, sim.NewRNG(seed)), p)
-	return s
+	d, err := disk.New(geom, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	fsys, err := fs.New(&s.clock, d, p)
+	if err != nil {
+		return nil, err
+	}
+	s.fsys = fsys
+	return s, nil
 }
+
+// SetFaults attaches disk and buffer-cache injectors to the server's
+// local file system (nil injectors detach).
+func (s *Server) SetFaults(inj fault.Injectors) { s.fsys.SetFaults(inj) }
 
 // OS returns the server's personality.
 func (s *Server) OS() *osprofile.Profile { return s.prof }
@@ -86,6 +100,7 @@ type Mount struct {
 	client *osprofile.Profile
 	server *Server
 	link   *netstack.Link
+	faults *fault.NetInjector
 
 	attrCached map[string]bool
 	dataCache  *clientCache
@@ -104,6 +119,9 @@ type Stats struct {
 	BytesToWire   uint64
 	BytesFromWire uint64
 	CacheReads    uint64 // reads satisfied from the client cache
+	// Retransmits counts RPCs re-sent after an injected loss ate the
+	// request or its reply (hard-mount retry).
+	Retransmits uint64
 }
 
 // NewMount mounts the server on a client. The clock is the client
@@ -131,6 +149,26 @@ func NewMount(clock *sim.Clock, client *osprofile.Profile, server *Server, link 
 
 // Stats returns a copy of the counters.
 func (m *Mount) Stats() Stats { return m.stats }
+
+// SetFaults attaches a network injector to the mount's RPC path (nil
+// detaches). NFS here runs over UDP, so injected loss triggers the
+// hard-mount retry loop in retryRPC rather than an error.
+func (m *Mount) SetFaults(inj *fault.NetInjector) { m.faults = inj }
+
+// retryRPC models the hard-mount retransmission of NFS over UDP: while
+// the injector eats the request or its reply, the client pays its
+// per-RPC CPU and the request's wire time again, sits out the
+// retransmission timeout (exponential backoff per attempt), and
+// retries. The plan validator bounds loss probability below one, so the
+// loop terminates; with no injector attached it draws nothing and adds
+// zero time.
+func (m *Mount) retryRPC(reqBytes int) {
+	for attempt := 0; m.faults.DropRPC(); attempt++ {
+		m.stats.Retransmits++
+		m.clock.Advance(m.client.NFS.ClientPerRPC +
+			m.link.TransmitTime(reqBytes) + m.faults.RTOWait(attempt))
+	}
+}
 
 // transferSize returns the rsize/wsize for this client-server pairing.
 func (m *Mount) transferSize() int {
@@ -165,6 +203,7 @@ func (m *Mount) rpc(reqBytes, replyBytes int, work func()) {
 	m.stats.RPCs++
 	m.stats.BytesToWire += uint64(reqBytes)
 	m.stats.BytesFromWire += uint64(replyBytes)
+	m.retryRPC(reqBytes)
 	serverTime := m.server.process(work)
 	m.clock.Advance(m.client.NFS.ClientPerRPC +
 		m.link.TransmitTime(reqBytes) + serverTime + m.link.TransmitTime(replyBytes))
@@ -183,6 +222,9 @@ func (m *Mount) rpcStream(n int, reqBytes, replyBytes int, work func(i int)) {
 		m.stats.RPCs++
 		m.stats.BytesToWire += uint64(reqBytes)
 		m.stats.BytesFromWire += uint64(replyBytes)
+		// A lost RPC stalls the pipeline: even a pipelined client must
+		// redrive the missing request before the stream can progress.
+		m.retryRPC(reqBytes)
 		var w func()
 		if work != nil {
 			i := i

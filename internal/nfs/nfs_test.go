@@ -11,13 +11,20 @@ import (
 	"repro/internal/sim"
 )
 
+func mustServer(s *Server, err error) *Server {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func linuxServer() *Server {
-	return NewServer(osprofile.Linux128(), disk.QuantumEmpire2100(), 1)
+	return mustServer(NewServer(osprofile.Linux128(), disk.QuantumEmpire2100(), 1))
 }
 
 func sunServer() *Server {
 	p := osprofile.SunOS414()
-	return NewServer(p, disk.QuantumEmpire2100(), 1)
+	return mustServer(NewServer(p, disk.QuantumEmpire2100(), 1))
 }
 
 func mountOn(t *testing.T, client *osprofile.Profile, server *Server, opts MountOptions) (*sim.Clock, *Mount) {

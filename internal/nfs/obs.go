@@ -3,7 +3,8 @@ package nfs
 import "repro/internal/obs"
 
 // FoldMetrics adds the client-observed RPC counters into a registry under
-// the given prefix (e.g. "nfs.").
+// the given prefix (e.g. "nfs."). Retransmits folds only when the mount
+// actually retransmitted, so unfaulted metric snapshots are unchanged.
 func (s Stats) FoldMetrics(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + "rpcs").Add(float64(s.RPCs))
 	reg.Counter(prefix + "read_rpcs").Add(float64(s.ReadRPCs))
@@ -13,4 +14,7 @@ func (s Stats) FoldMetrics(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + "bytes_to_wire").Add(float64(s.BytesToWire))
 	reg.Counter(prefix + "bytes_from_wire").Add(float64(s.BytesFromWire))
 	reg.Counter(prefix + "cache_reads").Add(float64(s.CacheReads))
+	if s.Retransmits > 0 {
+		reg.Counter(prefix + "retransmits").Add(float64(s.Retransmits))
+	}
 }

@@ -12,7 +12,7 @@ import (
 
 // FoldMetrics lands the client RPC counters in a registry.
 func TestNFSFoldMetrics(t *testing.T) {
-	srv := NewServer(osprofile.FreeBSD205(), disk.HP3725(), 11)
+	srv := mustServer(NewServer(osprofile.FreeBSD205(), disk.HP3725(), 11))
 	var clock sim.Clock
 	m, err := NewMount(&clock, osprofile.FreeBSD205(), srv, netstack.Ethernet10(), MountOptions{})
 	if err != nil {

@@ -104,8 +104,12 @@ func (p *Profile) WriteTop(w io.Writer, topN int) error {
 			fmt.Fprintln(bw)
 		}
 		first = false
-		fmt.Fprintf(bw, "%s — %s: %s over %d spans\n",
-			tt.Process, tt.Track, fmtNs(tt.TotalNs), tt.Spans)
+		trunc := ""
+		if tt.Truncated > 0 {
+			trunc = fmt.Sprintf("  [truncated: %d spans folded incompletely]", tt.Truncated)
+		}
+		fmt.Fprintf(bw, "%s — %s: %s over %d spans%s\n",
+			tt.Process, tt.Track, fmtNs(tt.TotalNs), tt.Spans, trunc)
 		fmt.Fprintf(bw, "  %12s %7s %12s %7s %8s  %s\n",
 			"flat", "flat%", "cum", "cum%", "spans", "frame")
 		shown := ordered

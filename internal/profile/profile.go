@@ -48,6 +48,11 @@ type TrackTotal struct {
 	TotalNs int64
 	// Spans is the number of spans folded on the track.
 	Spans int64
+	// Truncated counts this track's folding anomalies: End events whose
+	// Begin fell off the ring, mismatched Ends, and spans force-closed
+	// at stream end. Nonzero means TotalNs undercounts the track's real
+	// span coverage — partial data, never inflated data.
+	Truncated int64
 }
 
 // Profile is a set of folded samples. The zero value is empty and
@@ -141,8 +146,19 @@ func (p *Profile) Fold(proc obs.Process) {
 			st.open = append(st.open, openSpan{name: e.Name, start: t})
 		case obs.EvEnd:
 			if len(st.open) == 0 {
-				// Begin lost to the ring: nothing to attribute.
-				p.truncated++
+				// Begin lost to the ring: nothing to attribute. The track
+				// total still materializes, carrying the truncation mark,
+				// so a track whose every Begin was dropped reports
+				// truncated coverage instead of silently vanishing.
+				p.markTruncated(proc.Name, trackName(e.Track))
+				continue
+			}
+			if e.Name != "" && st.open[len(st.open)-1].name != e.Name {
+				// An End that does not match the open span (its Begin was
+				// dropped, or the stream is malformed): attributing the
+				// open span's time to it would inflate the wrong frame.
+				// Count it and keep the stack as is.
+				p.markTruncated(proc.Name, trackName(e.Track))
 				continue
 			}
 			closeTop(e.Track, st, t)
@@ -158,10 +174,17 @@ func (p *Profile) Fold(proc obs.Process) {
 	for _, id := range ids {
 		st := states[id]
 		for len(st.open) > 0 {
-			p.truncated++
+			p.markTruncated(proc.Name, trackName(id))
 			closeTop(id, st, st.last)
 		}
 	}
+}
+
+// markTruncated records one folding anomaly, both profile-wide and on
+// the owning track's total.
+func (p *Profile) markTruncated(process, track string) {
+	p.truncated++
+	p.total(process, track).Truncated++
 }
 
 // add accumulates one stack observation.
@@ -207,6 +230,7 @@ func (p *Profile) Merge(o *Profile) {
 		dst := p.total(tt.Process, tt.Track)
 		dst.TotalNs += tt.TotalNs
 		dst.Spans += tt.Spans
+		dst.Truncated += tt.Truncated
 	}
 	p.truncated += o.truncated
 	p.dropped += o.dropped

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
@@ -299,7 +300,7 @@ func TestFoldRealObservedRun(t *testing.T) {
 // functions of the capture.
 func TestFoldDeterministicBytes(t *testing.T) {
 	render := func() (string, string, string) {
-		_, o := bench.CrtdelObserved(bench.PaperPlatform(), osprofile.Paper()[1], 64<<10, 1)
+		_, o := bench.CrtdelObserved(bench.PaperPlatform(), osprofile.Paper()[1], 64<<10, 1, fault.Injectors{})
 		p := Fold(o.Process)
 		var folded, top, pb strings.Builder
 		if err := p.WriteFolded(&folded); err != nil {
@@ -320,5 +321,88 @@ func TestFoldDeterministicBytes(t *testing.T) {
 	}
 	if len(f1) == 0 || len(t1) == 0 || len(p1) == 0 {
 		t.Fatal("profile exports are empty")
+	}
+}
+
+// TestFoldDroppedRootSpanReportsTruncatedCoverage is the audit locked in
+// by a hand-built stream: the ring dropped a root span's Begin, so its
+// surviving children fold as partial coverage and the track total must
+// say so — truncated, never inflated.
+func TestFoldDroppedRootSpanReportsTruncatedCoverage(t *testing.T) {
+	// Original timeline: root[0..100] { a[10..40], b[60..90] }. The ring
+	// dropped Begin(root) at t=0 and the whole of a; what survives is
+	// b's pair and root's orphan End.
+	proc := obs.Process{
+		Name:   "P",
+		Tracks: []string{"kernel"},
+		Events: []obs.Event{
+			{When: 60, Kind: obs.EvBegin, Name: "b"},
+			{When: 90, Kind: obs.EvEnd, Name: "b"},
+			{When: 100, Kind: obs.EvEnd, Name: "root"},
+		},
+		Dropped: 3,
+	}
+	p := Fold(proc)
+	totals := p.TrackTotals()
+	if len(totals) != 1 {
+		t.Fatalf("totals = %+v", totals)
+	}
+	tt := totals[0]
+	// Only b's 30ns is attributable; attributing root's 100ns from its
+	// orphan End would inflate the total with time the stream cannot
+	// place.
+	if tt.TotalNs != 30 {
+		t.Errorf("TotalNs = %d, want 30 (partial coverage, not inflated)", tt.TotalNs)
+	}
+	if tt.Truncated != 1 {
+		t.Errorf("TrackTotal.Truncated = %d, want 1", tt.Truncated)
+	}
+	if p.Truncated() != 1 {
+		t.Errorf("Truncated = %d, want 1", p.Truncated())
+	}
+}
+
+// TestFoldMismatchedEndDoesNotStealOpenSpan hardens closeTop: an End
+// naming a span that is not on top of the stack (its Begin was dropped
+// mid-nest) must not close — and mis-attribute — the open span.
+func TestFoldMismatchedEndDoesNotStealOpenSpan(t *testing.T) {
+	proc := obs.Process{
+		Name:   "P",
+		Tracks: []string{"kernel"},
+		Events: []obs.Event{
+			{When: 0, Kind: obs.EvBegin, Name: "outer"},
+			{When: 20, Kind: obs.EvEnd, Name: "dropped-child"},
+			{When: 50, Kind: obs.EvEnd, Name: "outer"},
+		},
+	}
+	p := Fold(proc)
+	samples := p.Samples()
+	if len(samples) != 1 || samples[0].Stack[len(samples[0].Stack)-1] != "outer" || samples[0].SelfNs != 50 {
+		t.Fatalf("outer must survive the mismatched End and fold [0..50]: %+v", samples)
+	}
+	totals := p.TrackTotals()
+	if len(totals) != 1 || totals[0].TotalNs != 50 || totals[0].Truncated != 1 {
+		t.Fatalf("totals = %+v, want TotalNs 50 with Truncated 1", totals)
+	}
+}
+
+// TestMergePropagatesTrackTruncation checks per-track truncation counts
+// survive a merge.
+func TestMergePropagatesTrackTruncation(t *testing.T) {
+	orphan := obs.Process{
+		Name:   "P",
+		Tracks: []string{"kernel"},
+		Events: []obs.Event{{When: 10, Kind: obs.EvEnd, Name: "lost"}},
+	}
+	a, b := Fold(orphan), Fold(orphan)
+	m := New()
+	m.Merge(a)
+	m.Merge(b)
+	totals := m.TrackTotals()
+	if len(totals) != 1 || totals[0].Truncated != 2 {
+		t.Fatalf("merged totals = %+v, want one track with Truncated 2", totals)
+	}
+	if m.Truncated() != 2 {
+		t.Errorf("merged Truncated = %d, want 2", m.Truncated())
 	}
 }

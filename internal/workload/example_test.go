@@ -29,7 +29,7 @@ end
 
 	for _, p := range []*osprofile.Profile{osprofile.Linux128(), osprofile.Solaris24()} {
 		clock := &sim.Clock{}
-		v := fs.New(clock, disk.New(disk.HP3725(), sim.NewRNG(1)), p).AsVFS()
+		v := fs.MustNew(clock, disk.MustNew(disk.HP3725(), sim.NewRNG(1)), p).AsVFS()
 		st := workload.Replay(v, trace)
 		fmt.Printf("%s: %d ops, %d errors, %.0f ms\n",
 			p, st.Ops, st.Errors, clock.Now().Sub(0).Milliseconds())

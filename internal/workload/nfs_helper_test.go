@@ -14,7 +14,10 @@ import (
 // a Solaris client.
 func replayOverNFS(t *testing.T, clock *sim.Clock, tr *Trace) Stats {
 	t.Helper()
-	server := nfs.NewServer(osprofile.Linux128(), disk.QuantumEmpire2100(), 1)
+	server, err := nfs.NewServer(osprofile.Linux128(), disk.QuantumEmpire2100(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := nfs.NewMount(clock, osprofile.Solaris24(), server, netstack.Ethernet10(), nfs.MountOptions{})
 	if err != nil {
 		t.Fatal(err)

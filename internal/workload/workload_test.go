@@ -12,8 +12,8 @@ import (
 
 func newVFS(p *osprofile.Profile) (*sim.Clock, fs.VFS) {
 	clock := &sim.Clock{}
-	d := disk.New(disk.HP3725(), sim.NewRNG(1))
-	return clock, fs.New(clock, d, p).AsVFS()
+	d := disk.MustNew(disk.HP3725(), sim.NewRNG(1))
+	return clock, fs.MustNew(clock, d, p).AsVFS()
 }
 
 func TestParseBasics(t *testing.T) {
