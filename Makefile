@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet bench check baseline baseline-record
+.PHONY: all build test short race vet bench bench-json check baseline baseline-record
 
 all: check
 
@@ -22,11 +22,13 @@ short:
 
 # Certifies the parallel runner race-free (the determinism regression test
 # in internal/core runs the whole suite on an 8-worker pool), the cache
-# fast-path differential tests, and the fault-injection layer — including
-# the CLI regression that a faulted `faults` report is byte-identical at
-# -j 1 and -j 8 — under the race detector.
+# fast-path differential tests, the event-engine differential (timer wheel
+# vs reference heap in internal/sim), the memo store, and the
+# fault-injection layer — including the CLI regression that a faulted
+# `faults` report is byte-identical at -j 1 and -j 8 — under the race
+# detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/fault/... ./internal/cli/...
+	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/memo/... ./internal/sim/... ./internal/fault/... ./internal/cli/...
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +38,12 @@ vet:
 # performance" for recorded results.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSuite' -benchtime 1x .
+
+# Machine-readable suite wall-clock timings (cold, memo-fill, memo-warm;
+# best of three each, cold/warm outputs compared byte for byte) written
+# to BENCH_pr6.json — the perf-trajectory record.
+bench-json:
+	sh scripts/bench_json.sh BENCH_pr6.json
 
 # Metric regression gate: re-run the probes with the committed baseline's
 # recorded seed and diff every metric point (exact for integer ledgers,

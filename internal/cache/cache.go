@@ -119,13 +119,26 @@ type Stats struct {
 	BytesRead, BytesWrit uint64
 }
 
-// line is one cache way. key holds the line address plus one; zero marks
-// the way invalid, so a scan tests presence and tag with one comparison.
+// line is one cache way. key holds the level's current generation base
+// plus the line address plus one; any smaller value (zero, or a key
+// stamped under an earlier generation) marks the way invalid, so a scan
+// tests presence, tag and generation with one comparison.
+//
+// use packs the LRU timestamp (shifted left one) with the dirty flag in
+// the low bit, keeping a way at 16 bytes — the victim scans stream these
+// arrays through the host's own caches, so size is speed. Timestamps are
+// unique within a level, so comparing packed values orders ways exactly
+// as comparing raw timestamps would, dirty bits notwithstanding.
 type line struct {
-	key   uint64
-	use   uint64 // LRU timestamp
-	dirty bool
+	key uint64
+	use uint64 // tick<<1 | dirty
 }
+
+// markDirty sets the dirty flag without disturbing the LRU stamp.
+func (l *line) markDirty() { l.use |= 1 }
+
+// isDirty reads the dirty flag.
+func (l *line) isDirty() bool { return l.use&1 != 0 }
 
 // level is one set-associative, write-back cache array. The ways are
 // stored in one flat backing array — set s occupies
@@ -142,6 +155,13 @@ type level struct {
 	setMask  uint64
 	lineSize int
 	tick     uint64
+	// genBase is the current generation shifted into the bits above any
+	// 32-bit line address. Stored keys are genBase + lineAddr + 1, so
+	// bumping genBase by 1<<32 invalidates every line in O(1) — no key
+	// from an earlier generation can equal a current-generation key, and
+	// the victim scans treat key <= genBase as a free way. Because the
+	// added bits sit entirely above setMask, set indexing is unchanged.
+	genBase uint64
 }
 
 func newLevel(size, assoc, lineSize int) (*level, error) {
@@ -181,30 +201,33 @@ func (lv *level) set(la uint64) []line {
 // touch replays the LRU bump a per-access hit on l would perform.
 func (lv *level) touch(l *line) {
 	lv.tick++
-	l.use = lv.tick
+	l.use = lv.tick<<1 | l.use&1
 }
 
 // lookup finds the line containing addr. It returns the way or nil.
 func (lv *level) lookup(addr uint64) *line {
-	key := lv.lineAddr(addr) + 1
+	key := lv.genBase + lv.lineAddr(addr) + 1
 	if lv.twoWay {
 		i := int((key-1)&lv.setMask) * 2
-		w := &lv.lines[i]
+		// One bounds check covers both ways: the two-element reslice makes
+		// s[0] and s[1] statically in range.
+		s := lv.lines[i : i+2]
+		w := &s[0]
 		if w.key != key {
-			w = &lv.lines[i+1]
+			w = &s[1]
 			if w.key != key {
 				return nil
 			}
 		}
 		lv.tick++
-		w.use = lv.tick
+		w.use = lv.tick<<1 | w.use&1
 		return w
 	}
 	set := lv.set(key - 1)
 	for i := range set {
 		if set[i].key == key {
 			lv.tick++
-			set[i].use = lv.tick
+			set[i].use = lv.tick<<1 | set[i].use&1
 			return &set[i]
 		}
 	}
@@ -215,14 +238,19 @@ func (lv *level) lookup(addr uint64) *line {
 // new line and the victim line's (tag, dirty) if a valid line was evicted.
 func (lv *level) insert(addr uint64) (l *line, victimTag uint64, victimDirty, evicted bool) {
 	la := lv.lineAddr(addr)
+	if la >= 1<<32 {
+		panic("cache: line address exceeds 32 bits")
+	}
+	gb := lv.genBase
 	var victim *line
 	if lv.twoWay {
 		// Unrolled victim choice, same policy as the loop below: the first
 		// free way wins, otherwise the least recently used (ties to way 0).
 		i := int(la&lv.setMask) * 2
-		victim = &lv.lines[i]
-		if victim.key != 0 {
-			if w1 := &lv.lines[i+1]; w1.key == 0 || w1.use < victim.use {
+		s := lv.lines[i : i+2]
+		victim = &s[0]
+		if victim.key > gb {
+			if w1 := &s[1]; w1.key <= gb || w1.use < victim.use {
 				victim = w1
 			}
 		}
@@ -230,7 +258,7 @@ func (lv *level) insert(addr uint64) (l *line, victimTag uint64, victimDirty, ev
 		set := lv.set(la)
 		victim = &set[0]
 		for i := range set {
-			if set[i].key == 0 {
+			if set[i].key <= gb {
 				victim = &set[i]
 				break
 			}
@@ -239,10 +267,10 @@ func (lv *level) insert(addr uint64) (l *line, victimTag uint64, victimDirty, ev
 			}
 		}
 	}
-	// victim.key-1 underflows for an invalid way; evicted=false guards it.
-	victimTag, victimDirty, evicted = victim.key-1, victim.dirty, victim.key != 0
+	// victim.key-gb-1 underflows for an invalid way; evicted=false guards it.
+	victimTag, victimDirty, evicted = victim.key-gb-1, victim.isDirty(), victim.key > gb
 	lv.tick++
-	*victim = line{key: la + 1, use: lv.tick}
+	*victim = line{key: gb + la + 1, use: lv.tick << 1}
 	return victim, victimTag, victimDirty, evicted
 }
 
@@ -253,23 +281,29 @@ func (lv *level) insert(addr uint64) (l *line, victimTag uint64, victimDirty, ev
 // wins and, failing that, the least recent use among the ways scanned
 // before it, just as insert's early-exit scan selects.
 func (lv *level) lookupOrInsert(addr uint64) (l *line, hit bool, victimTag uint64, victimDirty, evicted bool) {
-	key := lv.lineAddr(addr) + 1
+	gb := lv.genBase
+	la := lv.lineAddr(addr)
+	if la >= 1<<32 {
+		panic("cache: line address exceeds 32 bits")
+	}
+	key := gb + la + 1
 	var victim *line
 	if lv.twoWay {
 		i := int((key-1)&lv.setMask) * 2
-		w0, w1 := &lv.lines[i], &lv.lines[i+1]
+		s := lv.lines[i : i+2]
+		w0, w1 := &s[0], &s[1]
 		if w0.key == key {
 			lv.tick++
-			w0.use = lv.tick
+			w0.use = lv.tick<<1 | w0.use&1
 			return w0, true, 0, false, false
 		}
 		if w1.key == key {
 			lv.tick++
-			w1.use = lv.tick
+			w1.use = lv.tick<<1 | w1.use&1
 			return w1, true, 0, false, false
 		}
 		victim = w0
-		if w0.key != 0 && (w1.key == 0 || w1.use < w0.use) {
+		if w0.key > gb && (w1.key <= gb || w1.use < w0.use) {
 			victim = w1
 		}
 	} else {
@@ -279,11 +313,11 @@ func (lv *level) lookupOrInsert(addr uint64) (l *line, hit bool, victimTag uint6
 		for i := range set {
 			if set[i].key == key {
 				lv.tick++
-				set[i].use = lv.tick
+				set[i].use = lv.tick<<1 | set[i].use&1
 				return &set[i], true, 0, false, false
 			}
 			if !free {
-				if set[i].key == 0 {
+				if set[i].key <= gb {
 					victim = &set[i]
 					free = true
 				} else if set[i].use < victim.use {
@@ -292,33 +326,34 @@ func (lv *level) lookupOrInsert(addr uint64) (l *line, hit bool, victimTag uint6
 			}
 		}
 	}
-	victimTag, victimDirty, evicted = victim.key-1, victim.dirty, victim.key != 0
+	victimTag, victimDirty, evicted = victim.key-gb-1, victim.isDirty(), victim.key > gb
 	lv.tick++
-	*victim = line{key: key, use: lv.tick}
+	*victim = line{key: key, use: lv.tick << 1}
 	return victim, false, victimTag, victimDirty, evicted
 }
 
 // invalidate drops the line containing the given line address, reporting
 // whether it was present and dirty.
 func (lv *level) invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
-	key := lineAddr + 1
+	key := lv.genBase + lineAddr + 1
 	if lv.twoWay {
 		i := int(lineAddr&lv.setMask) * 2
-		w := &lv.lines[i]
+		s := lv.lines[i : i+2]
+		w := &s[0]
 		if w.key != key {
-			w = &lv.lines[i+1]
+			w = &s[1]
 			if w.key != key {
 				return false, false
 			}
 		}
-		wasDirty = w.dirty
+		wasDirty = w.isDirty()
 		*w = line{}
 		return wasDirty, true
 	}
 	set := lv.set(lineAddr)
 	for i := range set {
 		if set[i].key == key {
-			wasDirty = set[i].dirty
+			wasDirty = set[i].isDirty()
 			set[i] = line{}
 			return wasDirty, true
 		}
@@ -326,10 +361,12 @@ func (lv *level) invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
 	return false, false
 }
 
+// flush invalidates every line in O(1) by advancing the generation: all
+// stored keys fall at or below the new genBase, which every scan treats
+// as a free way, indistinguishable from a zeroed array. Line addresses
+// fit in 32 bits (insert enforces it), so generations never collide.
 func (lv *level) flush() {
-	for i := range lv.lines {
-		lv.lines[i] = line{}
-	}
+	lv.genBase += 1 << 32
 }
 
 // Hierarchy is the full two-level cache model. It accumulates a cycle count
@@ -463,7 +500,7 @@ func (h *Hierarchy) fill(addr uint64) *line {
 			h.attr.WriteBack += t.L1WriteBack
 		}
 		if l2line := h.l2.lookup(vt << h.l2.setShift); l2line != nil {
-			l2line.dirty = true
+			l2line.markDirty()
 		} else {
 			// Inclusion was broken by an L2 eviction between the L1 fill
 			// and now; burst the line to memory.
@@ -508,7 +545,7 @@ func (h *Hierarchy) WriteWords(addr uint64, n int) {
 			if h.attr != nil {
 				h.attr.L1 += t.WordWriteHit
 			}
-			l.dirty = true
+			l.markDirty()
 			continue
 		}
 		h.stats.L1Misses++
@@ -520,7 +557,7 @@ func (h *Hierarchy) WriteWords(addr uint64, n int) {
 				h.attr.L1 += t.WordWriteHit
 			}
 			if l := h.l1.lookup(a); l != nil {
-				l.dirty = true
+				l.markDirty()
 			}
 			continue
 		}
@@ -531,7 +568,7 @@ func (h *Hierarchy) WriteWords(addr uint64, n int) {
 			if h.attr != nil {
 				h.attr.L2 += t.L2WordAccess
 			}
-			l2.dirty = true
+			l2.markDirty()
 			continue
 		}
 		h.stats.L2Misses++
@@ -575,7 +612,7 @@ func (h *Hierarchy) WriteBytes(addr uint64, n int) {
 			if h.attr != nil {
 				h.attr.L1 += t.ByteOp
 			}
-			l.dirty = true
+			l.markDirty()
 			continue
 		}
 		h.stats.L1Misses++
@@ -586,7 +623,7 @@ func (h *Hierarchy) WriteBytes(addr uint64, n int) {
 				h.attr.L1 += t.ByteOp
 			}
 			if l := h.l1.lookup(a); l != nil {
-				l.dirty = true
+				l.markDirty()
 			}
 			continue
 		}
@@ -596,7 +633,7 @@ func (h *Hierarchy) WriteBytes(addr uint64, n int) {
 			if h.attr != nil {
 				h.attr.L2 += t.L2WordAccess
 			}
-			l2.dirty = true
+			l2.markDirty()
 			continue
 		}
 		h.stats.L2Misses++
@@ -774,7 +811,7 @@ func (h *Hierarchy) WriteRun(addr uint64, words, chunkWords int, chunkLoop float
 		if l := h.l1.lookup(a); l != nil {
 			h.stats.L1Hits++
 			cycles += t.WordWriteHit
-			l.dirty = true
+			l.markDirty()
 			class = runL1
 		} else {
 			h.stats.L1Misses++
@@ -787,13 +824,13 @@ func (h *Hierarchy) WriteRun(addr uint64, words, chunkWords int, chunkLoop float
 				// Dirty the filled line with its LRU bump, as the
 				// per-access path's re-lookup does, without the scan.
 				h.l1.touch(l)
-				l.dirty = true
+				l.markDirty()
 				class = runL1 // the fill leaves the line in L1
 			default:
 				if l2 := h.l2.lookup(a); l2 != nil {
 					h.stats.L2Hits++
 					cycles += t.L2WordAccess
-					l2.dirty = true
+					l2.markDirty()
 					class = runL2
 				} else {
 					h.stats.L2Misses++
@@ -904,7 +941,7 @@ func (h *Hierarchy) CopyRun(src, dst uint64, words, chunkWords int, chunkLoop fl
 				}
 				h.stats.L1Hits += uint64(k)
 				h.l1.tick += uint64(k)
-				readPtr.use = h.l1.tick
+				readPtr.use = h.l1.tick<<1 | readPtr.use&1
 				j += k
 				continue
 			}
@@ -934,12 +971,12 @@ func (h *Hierarchy) CopyRun(src, dst uint64, words, chunkWords int, chunkLoop fl
 				case runL1:
 					h.stats.L1Hits += uint64(k)
 					h.l1.tick += uint64(k)
-					writePtr.use = h.l1.tick
+					writePtr.use = h.l1.tick<<1 | writePtr.use&1
 				case runL2:
 					h.stats.L1Misses += uint64(k)
 					h.stats.L2Hits += uint64(k)
 					h.l2.tick += uint64(k)
-					writePtr.use = h.l2.tick
+					writePtr.use = h.l2.tick<<1 | writePtr.use&1
 				case runMem:
 					h.stats.L1Misses += uint64(k)
 					h.stats.L2Misses += uint64(k)
@@ -952,7 +989,7 @@ func (h *Hierarchy) CopyRun(src, dst uint64, words, chunkWords int, chunkLoop fl
 			if l := h.l1.lookup(a); l != nil {
 				h.stats.L1Hits++
 				cycles += t.WordWriteHit
-				l.dirty = true
+				l.markDirty()
 				writeClass, writeCost, writePtr = runL1, t.WordWriteHit, l
 			} else {
 				h.stats.L1Misses++
@@ -966,7 +1003,7 @@ func (h *Hierarchy) CopyRun(src, dst uint64, words, chunkWords int, chunkLoop fl
 					// dirty; the fill's pointer plus the lookup's LRU bump
 					// replays that without the scan.
 					h.l1.touch(l)
-					l.dirty = true
+					l.markDirty()
 					writePtr = l
 					readPtr = nil // the fill may have evicted the read line
 					writeClass, writeCost = runL1, t.WordWriteHit
@@ -974,7 +1011,7 @@ func (h *Hierarchy) CopyRun(src, dst uint64, words, chunkWords int, chunkLoop fl
 					if l2 := h.l2.lookup(a); l2 != nil {
 						h.stats.L2Hits++
 						cycles += t.L2WordAccess
-						l2.dirty = true
+						l2.markDirty()
 						writeClass, writeCost, writePtr = runL2, t.L2WordAccess, l2
 					} else {
 						h.stats.L2Misses++
@@ -1040,7 +1077,7 @@ func (h *Hierarchy) WriteRunBytes(addr uint64, n int) {
 		if l := h.l1.lookup(a); l != nil {
 			h.stats.L1Hits++
 			h.cycles += t.ByteOp
-			l.dirty = true
+			l.markDirty()
 			class = runL1
 		} else {
 			h.stats.L1Misses++
@@ -1049,14 +1086,14 @@ func (h *Hierarchy) WriteRunBytes(addr uint64, n int) {
 				h.fill(a)
 				h.cycles += t.ByteOp
 				if l := h.l1.lookup(a); l != nil {
-					l.dirty = true
+					l.markDirty()
 				}
 				class = runL1
 			default:
 				if l2 := h.l2.lookup(a); l2 != nil {
 					h.stats.L2Hits++
 					h.cycles += t.L2WordAccess
-					l2.dirty = true
+					l2.markDirty()
 					class = runL2
 				} else {
 					h.stats.L2Misses++
@@ -1124,7 +1161,7 @@ func (h *Hierarchy) Contains(addr uint64) int {
 }
 
 func (h *Hierarchy) peek(lv *level, addr uint64) bool {
-	key := lv.lineAddr(addr) + 1
+	key := lv.genBase + lv.lineAddr(addr) + 1
 	set := lv.set(key - 1)
 	for i := range set {
 		if set[i].key == key {

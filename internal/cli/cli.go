@@ -23,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/kernel"
+	"repro/internal/memo"
 	"repro/internal/notes"
 	"repro/internal/obs"
 	"repro/internal/osprofile"
@@ -79,6 +80,7 @@ func (a *App) Execute(args []string) int {
 	planFile := fl.String("plan", "", "faults: the fault plan JSON file to inject (see examples/lossy-nfs.json)")
 	faultsFile := fl.String("faults", "", "trace/metrics/profile: inject this fault plan JSON into the probes")
 	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
+	memoDir := fl.String("memo", "", "persistent result-memo directory for run/csv/svg/experiments/html (a cold run fills it; an unchanged re-run is served from it)")
 	cpuProfile := fl.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
 	memProfile := fl.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 	fl.Usage = func() { a.usage(fl) }
@@ -137,6 +139,14 @@ func (a *App) Execute(args []string) int {
 	faultPlan, code := a.loadPlan(*faultsFile)
 	if code != 0 {
 		return code
+	}
+	if *memoDir != "" {
+		store, err := memo.OpenStore(*memoDir)
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 2
+		}
+		cfg.Memo = store
 	}
 	runner := core.NewRunner(*workers)
 	opts := cmdOpts{
@@ -257,6 +267,14 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 			return 2
 		}
 	}
+	if cfg.Memo != nil {
+		switch rest[0] {
+		case "run", "csv", "svg", "experiments", "html":
+		default:
+			fmt.Fprintf(a.Stderr, "pentiumbench: -memo does not apply to %q (only run, csv, svg, experiments and html take it)\n", rest[0])
+			return 2
+		}
+	}
 	if o.plan != nil && rest[0] != "faults" {
 		fmt.Fprintln(a.Stderr, "pentiumbench: -plan only applies to the faults command (use -faults with trace/metrics/profile)")
 		return 2
@@ -363,7 +381,10 @@ func (a *App) usage(fl *flag.FlagSet) {
 
 run, csv, svg, experiments and html execute on a parallel deterministic
 runner: -j picks the worker count (results are bit-identical at any -j),
--stats reports jobs, memo hits and wall time on stderr.
+-stats reports jobs, memo hits and wall time on stderr. -memo <dir>
+persists results content-addressed on disk: a cold run fills the store,
+an unchanged re-run (same seed, runs, personalities and code schema) is
+served from it near-instantly, byte-identical to the cold output.
 
 Any command can be profiled: -cpuprofile and -memprofile write pprof
 files for inspection with 'go tool pprof'.
@@ -479,6 +500,10 @@ func (a *App) maybeStats(show bool, st *core.RunStats) {
 		st.Jobs, st.InnerJobs, st.Workers, st.Wall.Round(time.Millisecond))
 	fmt.Fprintf(a.Stderr, "sweep memo: %d hits, %d simulated points\n",
 		st.MemoHits, st.MemoMisses)
+	if st.Store != nil {
+		fmt.Fprintf(a.Stderr, "memo store: %d hits, %d misses (%d stale), %d entries written\n",
+			st.Store.Hits, st.Store.Misses, st.Store.Stale, st.Store.Puts)
+	}
 	slowest := st.Slowest(5)
 	if len(slowest) == 0 {
 		return

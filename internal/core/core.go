@@ -7,11 +7,12 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 
 	"repro/internal/memmodel"
+	"repro/internal/memo"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -37,6 +38,14 @@ type Config struct {
 	Runs int
 	// Profiles are the systems under test, in presentation order.
 	Profiles []*osprofile.Profile
+
+	// Memo, when non-nil, persists whole experiment results across suite
+	// runs: RunAll serves an experiment from the store when its key — the
+	// memo schema version, experiment ID, seed, run count, ref-model flag
+	// and the full personality set — matches a stored entry, and stores
+	// fresh results for the next run. Serving from the store cannot change
+	// output: results round-trip JSON bit for bit.
+	Memo *memo.Store
 
 	// UseRefModel routes the §6 cache-hierarchy sweeps through the
 	// per-access reference hierarchy (cache.RefHierarchy) instead of the
@@ -154,11 +163,21 @@ var registry []*Experiment
 func register(e *Experiment) { registry = append(registry, e) }
 
 // All returns every experiment in presentation order: the paper's tables
-// and figures in paper order, then the ablations.
+// and figures in paper order, then the ablations. Ordering goes through
+// a precomputed key table — each ID's rank packed above its registration
+// index — so a plain integer sort replaces the comparator closure and
+// its repeated rank calls, with the index bits keeping equal ranks in
+// registration order.
 func All() []*Experiment {
+	keys := make([]int64, len(registry))
+	for i, e := range registry {
+		keys[i] = int64(rank(e.ID))<<32 | int64(i)
+	}
+	slices.Sort(keys)
 	out := make([]*Experiment, len(registry))
-	copy(out, registry)
-	sort.SliceStable(out, func(i, j int) bool { return rank(out[i].ID) < rank(out[j].ID) })
+	for j, k := range keys {
+		out[j] = registry[k&(1<<32-1)]
+	}
 	return out
 }
 

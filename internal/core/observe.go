@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -101,8 +101,18 @@ func ObservableIDs() []string {
 	for id := range memRoutines {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return rank(ids[i]) < rank(ids[j]) })
-	return ids
+	// Same precomputed rank-key sort as All: ranks are distinct across
+	// these IDs, so the order is deterministic despite the map walk.
+	keys := make([]int64, len(ids))
+	for i, id := range ids {
+		keys[i] = int64(rank(id))<<32 | int64(i)
+	}
+	slices.Sort(keys)
+	out := make([]string, len(ids))
+	for j, k := range keys {
+		out[j] = ids[k&(1<<32-1)]
+	}
+	return out
 }
 
 // FaultableIDs returns the observable experiments whose probes consult
@@ -259,6 +269,13 @@ func (st *RunStats) FoldMetrics(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + "inner_jobs").Add(float64(st.InnerJobs))
 	reg.Counter(prefix + "memo_hits").Add(float64(st.MemoHits))
 	reg.Counter(prefix + "memo_misses").Add(float64(st.MemoMisses))
+	if st.Store != nil {
+		// Persistent result-memo effectiveness, present only when a store
+		// was attached (-memo), so storeless snapshots are unchanged.
+		reg.Counter(prefix + "memo_store_hits").Add(float64(st.Store.Hits))
+		reg.Counter(prefix + "memo_store_misses").Add(float64(st.Store.Misses))
+		reg.Counter(prefix + "memo_store_stale").Add(float64(st.Store.Stale))
+	}
 	reg.Counter(prefix + "wall_us").Add(float64(st.Wall.Microseconds()))
 	d := reg.Distribution(prefix + "experiment_wall_us")
 	var busy time.Duration

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/memmodel"
+	"repro/internal/memo"
 )
 
 // workPool is the bounded token pool a Runner shares with the experiments
@@ -152,6 +153,9 @@ type RunStats struct {
 	// from the suite memo vs. simulated; MemoMisses equals the number of
 	// unique points.
 	MemoHits, MemoMisses uint64
+	// Store reports the persistent result memo's counters when a store
+	// was attached to the run's Config; nil otherwise.
+	Store *memo.StoreStats
 	// Wall is the whole run's wall-clock time.
 	Wall time.Duration
 	// Experiments holds per-experiment wall times, in input order.
@@ -174,8 +178,8 @@ func (st *RunStats) Slowest(k int) []ExperimentTiming {
 // identical to calling e.Run(cfg) serially for each experiment.
 func (r *Runner) RunAll(cfg Config, exps []*Experiment) ([]*Result, *RunStats) {
 	w := r.workers()
-	memo := memmodel.NewSweepCache()
-	cfg.memo = memo
+	sweeps := memmodel.NewSweepCache()
+	cfg.memo = sweeps
 	st := &RunStats{
 		Workers:     w,
 		Jobs:        len(exps),
@@ -185,7 +189,7 @@ func (r *Runner) RunAll(cfg Config, exps []*Experiment) ([]*Result, *RunStats) {
 	start := time.Now()
 	runOne := func(i int) {
 		t0 := time.Now()
-		results[i] = exps[i].Run(cfg)
+		results[i] = runMemoized(cfg, exps[i])
 		st.Experiments[i] = ExperimentTiming{ID: exps[i].ID, Wall: time.Since(t0)}
 	}
 	if w <= 1 {
@@ -212,7 +216,11 @@ func (r *Runner) RunAll(cfg Config, exps []*Experiment) ([]*Result, *RunStats) {
 		st.InnerJobs = int(pool.innerJobs.Load())
 	}
 	st.Wall = time.Since(start)
-	ms := memo.Stats()
+	ms := sweeps.Stats()
 	st.MemoHits, st.MemoMisses = ms.Hits, ms.Misses
+	if cfg.Memo != nil {
+		ss := cfg.Memo.Stats()
+		st.Store = &ss
+	}
 	return results, st
 }

@@ -21,14 +21,30 @@ type BufferCache struct {
 	bytes   int64
 	dirty   int64
 
+	// dhead/dtail thread a second list through only the dirty entries,
+	// mirroring every main-list promotion, so the relative order of dirty
+	// entries always matches the main LRU list and flushes walk just the
+	// dirty blocks instead of scanning the whole cache.
+	dhead *bufEntry
+	dtail *bufEntry
+
+	// freeEnt recycles evicted entries; evictScratch and flushScratch are
+	// the reused backing arrays for the block lists Insert/SetCapacity and
+	// the Flush methods return (each valid until the next call of the same
+	// method family).
+	freeEnt      *bufEntry
+	evictScratch []int64
+	flushScratch []int64
+
 	// Hits and Misses count Lookup outcomes.
 	Hits, Misses uint64
 }
 
 type bufEntry struct {
-	blk        int64
-	dirty      bool
-	prev, next *bufEntry
+	blk          int64
+	dirty        bool
+	prev, next   *bufEntry
+	dprev, dnext *bufEntry
 }
 
 // NewBufferCache builds a cache of capacityBytes with the given dirty
@@ -64,6 +80,7 @@ func (c *BufferCache) SetCapacity(bytes int64) (writeBack []int64) {
 	if c.dirtyLimit > c.capacity {
 		c.dirtyLimit = c.capacity
 	}
+	writeBack = c.evictScratch[:0]
 	for c.bytes > c.capacity {
 		victim := c.tail
 		if victim == nil {
@@ -74,6 +91,7 @@ func (c *BufferCache) SetCapacity(bytes int64) (writeBack []int64) {
 		}
 		c.drop(victim)
 	}
+	c.evictScratch = writeBack
 	return writeBack
 }
 
@@ -114,6 +132,31 @@ func (c *BufferCache) pushFront(e *bufEntry) {
 	}
 }
 
+func (c *BufferCache) dunlink(e *bufEntry) {
+	if e.dprev != nil {
+		e.dprev.dnext = e.dnext
+	} else {
+		c.dhead = e.dnext
+	}
+	if e.dnext != nil {
+		e.dnext.dprev = e.dprev
+	} else {
+		c.dtail = e.dprev
+	}
+	e.dprev, e.dnext = nil, nil
+}
+
+func (c *BufferCache) dpushFront(e *bufEntry) {
+	e.dnext = c.dhead
+	if c.dhead != nil {
+		c.dhead.dprev = e
+	}
+	c.dhead = e
+	if c.dtail == nil {
+		c.dtail = e
+	}
+}
+
 // Lookup reports whether blk is cached, promoting it to most recently
 // used and counting the hit or miss.
 func (c *BufferCache) Lookup(blk int64) bool {
@@ -125,6 +168,10 @@ func (c *BufferCache) Lookup(blk int64) bool {
 	c.Hits++
 	c.unlink(e)
 	c.pushFront(e)
+	if e.dirty {
+		c.dunlink(e)
+		c.dpushFront(e)
+	}
 	return true
 }
 
@@ -135,13 +182,17 @@ func (c *BufferCache) Insert(blk int64, dirty bool) (writeBack []int64) {
 	if _, ok := c.entries[blk]; ok {
 		panic("fs: Insert of resident block")
 	}
-	e := &bufEntry{blk: blk, dirty: dirty}
+	e := c.allocEntry()
+	e.blk = blk
+	e.dirty = dirty
 	c.entries[blk] = e
 	c.pushFront(e)
 	c.bytes += c.blockSize
 	if dirty {
 		c.dirty += c.blockSize
+		c.dpushFront(e)
 	}
+	writeBack = c.evictScratch[:0]
 	for c.bytes > c.capacity {
 		victim := c.tail
 		if victim == nil || victim == e {
@@ -152,7 +203,21 @@ func (c *BufferCache) Insert(blk int64, dirty bool) (writeBack []int64) {
 		}
 		c.drop(victim)
 	}
+	c.evictScratch = writeBack
+	if len(writeBack) == 0 {
+		return nil
+	}
 	return writeBack
+}
+
+// allocEntry reuses a dropped entry or allocates a fresh one.
+func (c *BufferCache) allocEntry() *bufEntry {
+	if e := c.freeEnt; e != nil {
+		c.freeEnt = e.next
+		e.next = nil
+		return e
+	}
+	return &bufEntry{}
 }
 
 // MarkDirty marks a resident block dirty (a rewrite in place). It reports
@@ -165,9 +230,12 @@ func (c *BufferCache) MarkDirty(blk int64) bool {
 	if !e.dirty {
 		e.dirty = true
 		c.dirty += c.blockSize
+	} else {
+		c.dunlink(e)
 	}
 	c.unlink(e)
 	c.pushFront(e)
+	c.dpushFront(e)
 	return true
 }
 
@@ -176,15 +244,21 @@ func (c *BufferCache) OverDirtyLimit() bool { return c.dirty > c.dirtyLimit }
 
 // FlushOldestDirty cleans the least recently used dirty blocks until dirty
 // data is back under the limit, returning the block numbers to write.
-// The blocks stay resident (clean).
+// The blocks stay resident (clean). The walk covers only dirty entries —
+// the dirty list mirrors the main list's relative order — so the cost is
+// O(blocks flushed), not O(blocks cached).
 func (c *BufferCache) FlushOldestDirty() []int64 {
-	var out []int64
-	for e := c.tail; e != nil && c.dirty > c.dirtyLimit; e = e.prev {
-		if e.dirty {
-			e.dirty = false
-			c.dirty -= c.blockSize
-			out = append(out, e.blk)
-		}
+	out := c.flushScratch[:0]
+	for c.dirty > c.dirtyLimit && c.dtail != nil {
+		e := c.dtail
+		e.dirty = false
+		c.dirty -= c.blockSize
+		c.dunlink(e)
+		out = append(out, e.blk)
+	}
+	c.flushScratch = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -192,13 +266,17 @@ func (c *BufferCache) FlushOldestDirty() []int64 {
 // FlushAll cleans every dirty block, returning the block numbers to write
 // in LRU-to-MRU order (sync(2) semantics).
 func (c *BufferCache) FlushAll() []int64 {
-	var out []int64
-	for e := c.tail; e != nil; e = e.prev {
-		if e.dirty {
-			e.dirty = false
-			c.dirty -= c.blockSize
-			out = append(out, e.blk)
-		}
+	out := c.flushScratch[:0]
+	for c.dtail != nil {
+		e := c.dtail
+		e.dirty = false
+		c.dirty -= c.blockSize
+		c.dunlink(e)
+		out = append(out, e.blk)
+	}
+	c.flushScratch = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -213,6 +291,7 @@ func (c *BufferCache) CleanBlock(blk int64) bool {
 	}
 	e.dirty = false
 	c.dirty -= c.blockSize
+	c.dunlink(e)
 	return true
 }
 
@@ -230,12 +309,19 @@ func (c *BufferCache) drop(e *bufEntry) {
 	c.bytes -= c.blockSize
 	if e.dirty {
 		c.dirty -= c.blockSize
+		c.dunlink(e)
 	}
+	e.dirty = false
+	e.blk = 0
+	e.next = c.freeEnt
+	c.freeEnt = e
 }
 
 // Clear empties the cache (fresh file system).
 func (c *BufferCache) Clear() {
 	c.entries = make(map[int64]*bufEntry)
 	c.head, c.tail = nil, nil
+	c.dhead, c.dtail = nil, nil
+	c.freeEnt = nil
 	c.bytes, c.dirty = 0, 0
 }

@@ -93,6 +93,14 @@ type Machine struct {
 	nextPID  int
 	switches uint64
 
+	// idle returns the baton to the driver goroutine when no process is
+	// runnable (see schedule: under the switch-to protocol the driver is
+	// out of the dispatch loop entirely).
+	idle chan struct{}
+	// draining flips Shutdown to the driver-mediated resume/yielded
+	// handshake, which unwinds killed processes one at a time.
+	draining bool
+
 	// KernelTime accumulates time spent in kernel activities, for
 	// diagnostics.
 	KernelTime sim.Duration
@@ -117,7 +125,7 @@ type Machine struct {
 // hand-edited profile with an unknown scheduler kind) is a returned
 // error, never a panic.
 func NewMachine(c cpu.CPU, os *osprofile.Profile, rng *sim.RNG) (*Machine, error) {
-	m := &Machine{cpu: c, os: os, rng: rng, nextPID: 1}
+	m := &Machine{cpu: c, os: os, rng: rng, nextPID: 1, idle: make(chan struct{})}
 	sched, err := newScheduler(m)
 	if err != nil {
 		return nil, err
@@ -219,15 +227,18 @@ func (m *Machine) switchCost(c pickCost) sim.Duration {
 	return cost
 }
 
-// schedule runs the dispatcher loop: pick the next runnable process via
-// the personality's scheduler structure, charge the context-switch cost
-// when control actually changes hands, and hand it the baton. It returns
-// when no process is runnable.
-func (m *Machine) schedule() {
+// dispatchNext picks the next runnable process via the personality's
+// scheduler structure, charges the context-switch cost when control
+// actually changes hands, and marks it running (opening its "run" span).
+// It returns nil when no process is runnable. The caller hands over the
+// baton by sending on the returned process's resume channel — unless the
+// pick is the caller itself, which just keeps running.
+func (m *Machine) dispatchNext() *Proc {
 	for {
 		next, cost := m.sched.pick()
 		if next == nil {
-			return
+			m.current = nil
+			return nil
 		}
 		if next.state != procRunnable {
 			continue
@@ -247,13 +258,48 @@ func (m *Machine) schedule() {
 		if m.rec != nil {
 			m.rec.Begin(next.track, "run")
 		}
-		next.resume <- struct{}{}
-		<-next.yielded
-		if m.rec != nil {
-			m.rec.End(next.track, "run", 0)
-		}
-		m.current = nil
+		return next
 	}
+}
+
+// passBaton transfers control out of the calling process context using
+// the switch-to protocol: the yielding process runs the scheduler pick
+// inline and resumes its successor directly — one channel handoff per
+// context switch instead of the two a mediating kernel goroutine costs.
+// When the pick is the caller itself (a timeslice yield with nothing
+// else runnable) it reports true and the caller simply keeps running.
+// When nothing is runnable the machine parks: the baton returns to the
+// driver goroutine waiting in schedule.
+//
+// Determinism is untouched: the baton still enforces that exactly one
+// goroutine executes at a time, every scheduler/clock/ledger access is
+// serialized by the chain of channel handoffs (each send establishes a
+// happens-before edge to the next runner), and the dispatch charges and
+// span events are emitted in exactly the order the mediated loop
+// produced.
+func (m *Machine) passBaton(self *Proc) (keepRunning bool) {
+	next := m.dispatchNext()
+	if next == nil {
+		m.idle <- struct{}{}
+		return false
+	}
+	if next == self {
+		return true
+	}
+	next.resume <- struct{}{}
+	return false
+}
+
+// schedule starts the dispatcher: the driver hands the baton to the
+// first runnable process and waits until the machine goes idle (no
+// process runnable). Processes pass the baton among themselves.
+func (m *Machine) schedule() {
+	next := m.dispatchNext()
+	if next == nil {
+		return
+	}
+	next.resume <- struct{}{}
+	<-m.idle
 }
 
 // Run starts the machine: every spawned process runs until it exits or
@@ -343,6 +389,8 @@ func (m *Machine) RunDrain() {
 // kill signal that unwinds their goroutines; runnable ones are killed
 // before running again.
 func (m *Machine) Shutdown() {
+	m.draining = true
+	defer func() { m.draining = false }()
 	for _, p := range m.procs {
 		if p.state == procDone {
 			continue

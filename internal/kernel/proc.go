@@ -81,7 +81,15 @@ func (m *Machine) Spawn(name string, fn func(p *Proc)) *Proc {
 			if p.m.observing() {
 				p.m.trace("exit", p.pid, "%s", p.name)
 			}
-			p.yielded <- struct{}{}
+			if p.m.draining {
+				// Shutdown unwinds processes over the old handshake.
+				p.yielded <- struct{}{}
+				return
+			}
+			if p.m.rec != nil {
+				p.m.rec.End(p.track, "run", 0)
+			}
+			p.m.passBaton(p)
 		}()
 		if p.killed {
 			panic(killSignal{})
@@ -128,13 +136,21 @@ func (p *Proc) rwSyscall() {
 }
 
 // block parks the process until another process (or the kernel) readies
-// it. It must only be called while running.
+// it. It must only be called while running. The blocking process closes
+// its own "run" span and dispatches its successor directly (switch-to).
 func (p *Proc) block() {
 	if p.m.observing() {
 		p.m.trace("block", p.pid, "%s", p.name)
 	}
 	p.state = procBlocked
-	p.yielded <- struct{}{}
+	if p.m.draining {
+		p.yielded <- struct{}{}
+	} else {
+		if p.m.rec != nil {
+			p.m.rec.End(p.track, "run", 0)
+		}
+		p.m.passBaton(p)
+	}
 	<-p.resume
 	if p.killed {
 		panic(killSignal{})
@@ -143,10 +159,20 @@ func (p *Proc) block() {
 }
 
 // YieldTimeslice gives up the CPU voluntarily, going to the back of the
-// run queue.
+// run queue. If the scheduler picks this process right back (nothing
+// else runnable) it keeps running without parking.
 func (p *Proc) YieldTimeslice() {
 	p.m.ready(p)
-	p.yielded <- struct{}{}
+	if p.m.draining {
+		p.yielded <- struct{}{}
+	} else {
+		if p.m.rec != nil {
+			p.m.rec.End(p.track, "run", 0)
+		}
+		if p.m.passBaton(p) {
+			return
+		}
+	}
 	<-p.resume
 	if p.killed {
 		panic(killSignal{})

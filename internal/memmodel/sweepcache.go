@@ -1,11 +1,9 @@
 package memmodel
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/memo"
 )
 
 // SweepPoint computes the steady-state bandwidth of one (routine, prefetch
@@ -13,7 +11,9 @@ import (
 // of work the §6 figures repeat across their sweeps, factored out so the
 // direct path and the memoized path run exactly the same code.
 func SweepPoint(c cpu.CPU, cfg cache.Config, r Routine, dist, size int) float64 {
-	m := NewModel(c, cfg)
+	h := cache.MustAcquire(cfg)
+	defer h.Release()
+	m := newModelOn(c, h)
 	m.PrefetchDistance = dist
 	return m.Bandwidth(r, size)
 }
@@ -42,54 +42,30 @@ type SweepKey struct {
 	Size     int
 }
 
-// sweepEntry is one memoized point. The Once gives single-flight
-// semantics: concurrent requests for the same key simulate it exactly
-// once and everyone else waits for the value.
-type sweepEntry struct {
-	once sync.Once
-	mbs  float64
-}
-
 // SweepCache memoizes cache-hierarchy sweep points across a suite run.
 // Several exhibits re-simulate identical points — Figure 3's memset curve
 // is also ablation A1's "no write-allocate" baseline, Figure 6's memcpy
 // likewise, and Figure 5 is ablation A2's distance-1 series — and the
 // model is a pure function of the key, so sharing the value cannot change
-// any result. A SweepCache is safe for concurrent use.
+// any result. It is a thin wrapper over the generic single-flight
+// memo.Table, keeping the domain-typed API. A SweepCache is safe for
+// concurrent use.
 type SweepCache struct {
-	mu      sync.Mutex
-	entries map[SweepKey]*sweepEntry
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	table *memo.Table[SweepKey, float64]
 }
 
 // NewSweepCache returns an empty memo table.
 func NewSweepCache() *SweepCache {
-	return &SweepCache{entries: make(map[SweepKey]*sweepEntry)}
+	return &SweepCache{table: memo.NewTable[SweepKey, float64]()}
 }
 
 // Bandwidth returns the bandwidth of the given sweep point, simulating it
 // on first request and serving the memoized value afterwards.
 func (c *SweepCache) Bandwidth(cpuc cpu.CPU, cfg cache.Config, r Routine, dist, size int) float64 {
 	key := SweepKey{CPU: cpuc, Cache: cfg, Routine: r, Distance: dist, Size: size}
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &sweepEntry{}
-		c.entries[key] = e
-	}
-	c.mu.Unlock()
-	computed := false
-	e.once.Do(func() {
-		e.mbs = SweepPoint(cpuc, cfg, r, dist, size)
-		computed = true
+	return c.table.Do(key, func() float64 {
+		return SweepPoint(cpuc, cfg, r, dist, size)
 	})
-	if computed {
-		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
-	}
-	return e.mbs
 }
 
 // SweepCacheStats reports memo effectiveness for RunStats.
@@ -102,5 +78,6 @@ type SweepCacheStats struct {
 
 // Stats returns a snapshot of the hit/miss counters.
 func (c *SweepCache) Stats() SweepCacheStats {
-	return SweepCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	s := c.table.Stats()
+	return SweepCacheStats{Hits: s.Hits, Misses: s.Misses}
 }

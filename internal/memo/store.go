@@ -1,0 +1,150 @@
+package memo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Store is a persistent content-addressed memo: values live on disk under
+// the SHA-256 of their canonical key material, so an unchanged
+// computation re-run from a fresh process finds its result instead of
+// re-simulating. The caller owns the key discipline — the key bytes must
+// encode everything the value depends on (schema version, configuration,
+// seeds, fault plans); the store only promises that a returned value was
+// stored under byte-identical key material.
+//
+// Every entry file echoes its full key, so a hash collision, a truncated
+// write, or stray garbage in the directory can never surface as a wrong
+// value: any mismatch is counted as stale and reported as a miss, and the
+// caller recomputes. A Store is safe for concurrent use; concurrent Puts
+// of the same key are idempotent (last atomic rename wins, all writes
+// carry the same value).
+type Store struct {
+	dir    string
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	stale  atomic.Uint64
+	puts   atomic.Uint64
+}
+
+// storeEntry is the on-disk layout: the base64 key echo and the value,
+// as one JSON object.
+type storeEntry struct {
+	// Key is the full canonical key material (JSON base64-encodes it),
+	// verified on every read.
+	Key []byte `json:"key"`
+	// Value is the memoized value's JSON.
+	Value json.RawMessage `json:"value"`
+}
+
+// OpenStore opens (creating if needed) a persistent store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("memo: store directory must be non-empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("memo: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps key material to its entry file: <dir>/<2 hex>/<64 hex>.json,
+// the leading byte fanning entries out across 256 subdirectories.
+func (s *Store) path(key []byte) string {
+	sum := sha256.Sum256(key)
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, h[:2], h[2:]+".json")
+}
+
+// Get looks the key up and, on a hit, unmarshals the stored value into
+// value (a pointer). It reports whether the value was filled. An absent
+// entry is a miss; an unreadable, corrupt, or key-mismatched entry is
+// counted stale as well as missed — the caller recomputes either way and
+// the next Put repairs the entry.
+func (s *Store) Get(key []byte, value any) bool {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	var e storeEntry
+	if err := json.Unmarshal(data, &e); err != nil || !bytes.Equal(e.Key, key) ||
+		json.Unmarshal(e.Value, value) != nil {
+		s.stale.Add(1)
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// Put stores value under the key, atomically: the entry is written to a
+// temporary file in the same directory and renamed into place, so a
+// reader never observes a half-written entry and a crash leaves at worst
+// a stray temp file (ignored by Get, cleaned by the next Put's rename
+// pattern being per-process unique).
+func (s *Store) Put(key []byte, value any) error {
+	vj, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("memo: marshal value: %w", err)
+	}
+	data, err := json.Marshal(storeEntry{Key: key, Value: vj})
+	if err != nil {
+		return fmt.Errorf("memo: marshal entry: %w", err)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("memo: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".memo-*")
+	if err != nil {
+		return fmt.Errorf("memo: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memo: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memo: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memo: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// StoreStats reports the store's effectiveness counters.
+type StoreStats struct {
+	// Hits counts keys served from disk.
+	Hits uint64
+	// Misses counts keys that had to be computed (including stale ones).
+	Misses uint64
+	// Stale counts entries rejected as corrupt, truncated, or
+	// key-mismatched; each is also a miss.
+	Stale uint64
+	// Puts counts entries written.
+	Puts uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:   s.hits.Load(),
+		Misses: s.misses.Load(),
+		Stale:  s.stale.Load(),
+		Puts:   s.puts.Load(),
+	}
+}

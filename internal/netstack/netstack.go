@@ -297,6 +297,21 @@ func (t *TCP) TransferObserved(totalBytes int, rec *obs.Recorder) (sim.Duration,
 		if remaining > 0 && credit > 0 {
 			burstStart := elapsed
 			burst := 0
+			// Unfaulted full-MSS segments in a burst are identical integer
+			// charges, so the whole run collapses to one multiplication —
+			// exact, since summing k equal durations is k*d.
+			if t.Faults == nil {
+				if k := min(credit, remaining/n.MSS); k > 0 {
+					d := t.segTime(n.MSS)
+					elapsed += d * sim.Duration(k)
+					st.Segments += uint64(k)
+					st.SegTime += d * sim.Duration(k)
+					remaining -= k * n.MSS
+					credit -= k
+					inFlight += k
+					burst += k
+				}
+			}
 			for remaining > 0 && credit > 0 {
 				payload := n.MSS
 				if payload > remaining {

@@ -362,6 +362,38 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestEnabledPathSteadyStateAllocBudget pins the enabled-path budget: a
+// ring recorder at capacity overwrites in place, and live metric handles
+// mutate fields, so a span + instant + counter + distribution update
+// allocates nothing once the ring is warm. Constant-string names are part
+// of the contract — formatting stays behind Enabled().
+func TestEnabledPathSteadyStateAllocBudget(t *testing.T) {
+	var clock sim.Clock
+	rec := NewRing(&clock, 1024)
+	tr := rec.Track("hot")
+	reg := NewRegistry()
+	c := reg.Counter("hot.counter")
+	d := reg.Distribution("hot.dist")
+	// Fill the ring past its bound so steady state is overwrite-at-head,
+	// not append-with-growth.
+	for i := 0; i < 2048; i++ {
+		rec.Begin(tr, "span")
+		rec.End(tr, "span", 1)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		clock.Advance(1)
+		rec.Begin(tr, "span")
+		rec.Instant(tr, "point", 1, "")
+		rec.End(tr, "span", 1)
+		c.Inc()
+		c.Add(2)
+		d.Observe(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled steady-state path allocates %v per op, want 0", allocs)
+	}
+}
+
 // BenchmarkDisabledHotPath is the CI guard for the same property, with
 // b.ReportAllocs so regressions are visible in benchmark output too.
 func BenchmarkDisabledHotPath(b *testing.B) {

@@ -13,12 +13,32 @@ type Event struct {
 	Fire func()
 
 	seq   uint64 // tie-break: events at the same time fire in schedule order
-	index int    // heap index, -1 once popped or cancelled
+	index int    // heap index while in an eventHeap
+
+	// where locates the event inside its engine (heap queue, wheel slot,
+	// run queue, overflow heap, or nowhere once fired/cancelled).
+	where loc
+	// next/prev link the event into a wheel slot or run-queue list; next
+	// doubles as the free-list link when recycled.
+	next, prev *Event
+	// level/slot record the wheel position for O(1) Cancel.
+	level, slot uint8
 }
+
+// loc is an event's current container.
+type loc uint8
+
+const (
+	locNone     loc = iota // fired, cancelled, or never scheduled
+	locHeap                // reference Engine's binary heap
+	locSlot                // a wheel slot list
+	locRunq                // the wheel's same-tick run queue
+	locOverflow            // the wheel's beyond-horizon heap
+)
 
 // Cancelled reports whether the event has been removed from its queue
 // (either by firing or by Cancel).
-func (e *Event) Cancelled() bool { return e.index < 0 }
+func (e *Event) Cancelled() bool { return e.where == locNone }
 
 // eventHeap orders events by (When, seq).
 type eventHeap []*Event
@@ -46,6 +66,7 @@ func (h *eventHeap) Pop() any {
 	e := old[n-1]
 	old[n-1] = nil
 	e.index = -1
+	e.where = locNone
 	*h = old[:n-1]
 	return e
 }
@@ -85,7 +106,7 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 	if t < e.clock.Now() {
 		panic(fmt.Sprintf("sim: scheduling event in the past: at %v, asked for %v", e.clock.Now(), t))
 	}
-	ev := &Event{When: t, Fire: fn, seq: e.seq}
+	ev := &Event{When: t, Fire: fn, seq: e.seq, where: locHeap}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -94,11 +115,10 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 // Cancel removes a pending event from the queue. Cancelling an event that
 // has already fired or been cancelled is a no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.where != locHeap {
 		return
 	}
 	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
 }
 
 // Pending returns the number of events waiting in the queue.

@@ -1,0 +1,481 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+)
+
+// Queue is the scheduling seam shared by the two event engines: the
+// hierarchical timer Wheel (the production engine) and the binary-heap
+// Engine (the reference implementation, kept compiled-in for differential
+// testing, mirroring the cache.Sim fast/reference split).
+//
+// Both engines guarantee the same contract: events fire in (When, schedule
+// order) — strictly increasing time, FIFO within a tick — and the clock
+// advances exactly to each fired event's When.
+type Queue interface {
+	Now() Time
+	Clock() *Clock
+	Schedule(d Duration, fn func()) *Event
+	ScheduleAt(t Time, fn func()) *Event
+	Cancel(ev *Event)
+	Pending() int
+	Step() bool
+	Run() int
+	RunUntil(deadline Time) int
+}
+
+var (
+	_ Queue = (*Engine)(nil)
+	_ Queue = (*Wheel)(nil)
+)
+
+// Timer-wheel geometry: wheelLevels levels of 64 slots each, one tick per
+// virtual nanosecond. Level k spans deltas in [64^k, 64^(k+1)); events
+// beyond the horizon (64^wheelLevels ticks ≈ 68.7 virtual seconds) wait in
+// an overflow heap and migrate into the wheel as the cursor approaches.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 6
+	// wheelHorizon is the largest delta (exclusive) the wheel proper can
+	// hold: 64^wheelLevels ticks.
+	wheelHorizon = int64(1) << (wheelBits * wheelLevels)
+)
+
+// evList is an intrusive doubly-linked FIFO of events, used for wheel
+// slots and the same-tick run queue. Intrusive links make Cancel O(1)
+// without any per-node allocation.
+type evList struct {
+	head, tail *Event
+}
+
+func (l *evList) pushBack(e *Event) {
+	e.next = nil
+	e.prev = l.tail
+	if l.tail == nil {
+		l.head = e
+	} else {
+		l.tail.next = e
+	}
+	l.tail = e
+}
+
+// pushSorted inserts e keeping the list ascending by seq. Fresh
+// schedules carry the largest seq yet issued and append in O(1); only
+// events cascading down from a higher wheel level (which are always
+// older than direct residents) walk backwards past younger entries, so
+// every slot list stays in global schedule order and same-tick FIFO is
+// preserved end to end.
+func (l *evList) pushSorted(e *Event) {
+	at := l.tail
+	for at != nil && at.seq > e.seq {
+		at = at.prev
+	}
+	l.insertAfter(at, e)
+}
+
+// pushSortedWhen inserts e keeping the list ascending by (When, seq) —
+// the run-queue order. In the steady state every run-queue event shares
+// the cursor tick and fresh arrivals carry the largest seq, so this
+// appends in O(1); the walk only triggers for events scheduled earlier
+// than a cursor that ran ahead of the clock (RunUntil stopping short of
+// the next event).
+func (l *evList) pushSortedWhen(e *Event) {
+	at := l.tail
+	for at != nil && (at.When > e.When || (at.When == e.When && at.seq > e.seq)) {
+		at = at.prev
+	}
+	l.insertAfter(at, e)
+}
+
+// insertAfter splices e in after at (at == nil means the front).
+func (l *evList) insertAfter(at, e *Event) {
+	if at == nil {
+		e.prev = nil
+		e.next = l.head
+		if l.head == nil {
+			l.tail = e
+		} else {
+			l.head.prev = e
+		}
+		l.head = e
+		return
+	}
+	e.prev = at
+	e.next = at.next
+	if at.next == nil {
+		l.tail = e
+	} else {
+		at.next.prev = e
+	}
+	at.next = e
+}
+
+func (l *evList) remove(e *Event) {
+	if e.prev == nil {
+		l.head = e.next
+	} else {
+		e.prev.next = e.next
+	}
+	if e.next == nil {
+		l.tail = e.prev
+	} else {
+		e.next.prev = e.prev
+	}
+	e.next, e.prev = nil, nil
+}
+
+// take empties the list and returns its head; the caller walks the chain
+// via next pointers.
+func (l *evList) take() *Event {
+	h := l.head
+	l.head, l.tail = nil, nil
+	return h
+}
+
+// Wheel is the production discrete-event engine: a hierarchical timer
+// wheel with a same-tick FIFO run queue and slab-recycled events. It is a
+// drop-in replacement for the reference Engine with identical firing
+// semantics (certified by the seeded differential tests in wheel_test.go)
+// but O(1) schedule/cancel and no steady-state allocation.
+//
+// Event handles returned by Schedule are recycled after the event fires
+// or is cancelled; callers must not retain a handle past that point
+// (Cancel of a dead handle is a no-op until the slot is reused). The
+// reference Engine never recycles and has no such restriction.
+//
+// The zero value is ready to use.
+type Wheel struct {
+	clock Clock
+	seq   uint64
+	// cur is the cursor tick: the virtual time the wheel's slot geometry
+	// is anchored to. Between steps cur equals the clock; during the
+	// next-event search it advances ahead of the clock, never past the
+	// earliest pending event.
+	cur     int64
+	pending int
+
+	occupied [wheelLevels]uint64
+	slots    [wheelLevels][wheelSlots]evList
+
+	// runq holds events due exactly at the cursor tick, in schedule
+	// order; same-timestamp events are dispatched from it back to back
+	// without re-searching the wheel.
+	runq evList
+
+	// overflow holds events beyond the wheel horizon, ordered by
+	// (When, seq).
+	overflow eventHeap
+
+	// free is the recycled-event list; slabs are allocated in chunks so
+	// steady-state scheduling does one allocation per wheelSlabSize
+	// events at most.
+	free *Event
+}
+
+// wheelSlabSize is the number of events allocated per slab.
+const wheelSlabSize = 128
+
+// NewWheel returns a new timer-wheel engine with its clock at T+0.
+func NewWheel() *Wheel { return &Wheel{} }
+
+// Now returns the engine's current virtual time.
+func (w *Wheel) Now() Time { return w.clock.Now() }
+
+// Clock exposes the engine's clock for components that advance time
+// directly.
+func (w *Wheel) Clock() *Clock { return &w.clock }
+
+// Pending returns the number of events waiting to fire.
+func (w *Wheel) Pending() int { return w.pending }
+
+// alloc returns a recycled or freshly slab-allocated event.
+func (w *Wheel) alloc() *Event {
+	if w.free == nil {
+		slab := make([]Event, wheelSlabSize)
+		for i := range slab {
+			slab[i].next = w.free
+			w.free = &slab[i]
+		}
+	}
+	e := w.free
+	w.free = e.next
+	e.next = nil
+	return e
+}
+
+// recycle returns a dead event to the free list.
+func (w *Wheel) recycle(e *Event) {
+	e.Fire = nil
+	e.prev = nil
+	e.where = locNone
+	e.next = w.free
+	w.free = e
+}
+
+// Schedule enqueues fn to run after delay d. It returns the event so the
+// caller may cancel it. A negative delay panics.
+func (w *Wheel) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative event delay %v", d))
+	}
+	return w.ScheduleAt(w.clock.Now().Add(d), fn)
+}
+
+// ScheduleAt enqueues fn to run at time t. Scheduling in the past panics.
+func (w *Wheel) ScheduleAt(t Time, fn func()) *Event {
+	if t < w.clock.Now() {
+		panic(fmt.Sprintf("sim: scheduling event in the past: at %v, asked for %v", w.clock.Now(), t))
+	}
+	w.syncClock()
+	// Migrate due overflow events first so that same-slot FIFO order
+	// stays global schedule order: anything already scheduled for a slot
+	// must land in it before this (younger) event does.
+	w.drainOverflow()
+	e := w.alloc()
+	e.When = t
+	e.Fire = fn
+	e.seq = w.seq
+	w.seq++
+	w.insert(e)
+	w.pending++
+	return e
+}
+
+// insert places e into the run queue, a wheel slot, or the overflow heap
+// according to its delta from the cursor.
+func (w *Wheel) insert(e *Event) {
+	delta := int64(e.When) - w.cur
+	if delta <= 0 {
+		// Due at the cursor tick — or before it, when the cursor ran
+		// ahead of the clock (RunUntil stopping short of the next
+		// event); the sorted insert keeps the run queue in global
+		// (When, seq) order either way.
+		e.where = locRunq
+		w.runq.pushSortedWhen(e)
+		return
+	}
+	if delta >= wheelHorizon {
+		e.where = locOverflow
+		heap.Push(&w.overflow, e)
+		return
+	}
+	// Level k holds deltas in [64^k, 64^(k+1)): k indexes the top set
+	// 6-bit group of the delta.
+	lvl := uint8((63 - bits.LeadingZeros64(uint64(delta))) / wheelBits)
+	slot := uint8((int64(e.When) >> (wheelBits * lvl)) & wheelMask)
+	e.where = locSlot
+	e.level = lvl
+	e.slot = slot
+	w.slots[lvl][slot].pushSorted(e)
+	w.occupied[lvl] |= 1 << slot
+}
+
+// Cancel removes a pending event. Cancelling an event that has already
+// fired or been cancelled is a no-op (but see the handle-lifetime note on
+// Wheel: dead handles are recycled).
+func (w *Wheel) Cancel(e *Event) {
+	if e == nil || e.where == locNone {
+		return
+	}
+	switch e.where {
+	case locSlot:
+		l := &w.slots[e.level][e.slot]
+		l.remove(e)
+		if l.head == nil {
+			w.occupied[e.level] &^= 1 << e.slot
+		}
+	case locRunq:
+		w.runq.remove(e)
+	case locOverflow:
+		heap.Remove(&w.overflow, e.index)
+	}
+	e.where = locNone
+	w.pending--
+	w.recycle(e)
+}
+
+// syncClock catches the cursor up when the clock was advanced directly
+// (through Clock()) between steps.
+func (w *Wheel) syncClock() {
+	if now := int64(w.clock.Now()); now > w.cur {
+		w.advanceCursorTo(now)
+	}
+}
+
+// drainOverflow migrates overflow events that have come within the
+// horizon into the wheel, in (When, seq) order.
+func (w *Wheel) drainOverflow() {
+	for len(w.overflow) > 0 && int64(w.overflow[0].When)-w.cur < wheelHorizon {
+		e := heap.Pop(&w.overflow).(*Event)
+		w.insert(e)
+	}
+}
+
+// advanceCursorTo moves the cursor to tick t and cascades the slots the
+// cursor now points at, re-homing their events to lower levels (or the
+// run queue, for events due exactly at t). Cascading runs from the
+// highest level down so that same-tick events enter the run queue in
+// schedule order: an event scheduled later always sits at an equal or
+// lower level than an earlier one with the same When, because the
+// cursor only ever moves toward the deadline.
+func (w *Wheel) advanceCursorTo(t int64) {
+	w.cur = t
+	for lvl := wheelLevels - 1; lvl >= 1; lvl-- {
+		slot := (t >> (wheelBits * uint(lvl))) & wheelMask
+		if w.occupied[lvl]&(1<<uint(slot)) == 0 {
+			continue
+		}
+		w.occupied[lvl] &^= 1 << uint(slot)
+		for e := w.slots[lvl][slot].take(); e != nil; {
+			next := e.next
+			e.next, e.prev = nil, nil
+			w.insert(e)
+			e = next
+		}
+	}
+	// Level-0 events due exactly at t move to the run queue.
+	slot := t & wheelMask
+	if w.occupied[0]&(1<<uint(slot)) != 0 {
+		l := &w.slots[0][slot]
+		if l.head != nil && l.head.When == Time(t) {
+			// A level-0 slot only ever holds a single When (see
+			// bestCandidate), so the whole list moves.
+			w.occupied[0] &^= 1 << uint(slot)
+			for e := l.take(); e != nil; {
+				next := e.next
+				e.next, e.prev = nil, nil
+				e.where = locRunq
+				w.runq.pushSortedWhen(e)
+				e = next
+			}
+		}
+	}
+}
+
+// bestCandidate returns the earliest tick at which a wheel event may be
+// due: the minimum slot-base tick over all occupied slots. It never
+// exceeds the earliest pending event's When (every event's When is at or
+// after its slot base).
+//
+// Slot positions relative to the cursor decode as follows. With
+// ck = cursor slot at level k: a slot s > ck belongs to the current
+// level-k epoch; s <= ck belongs to the next (for k = 0 the cursor slot
+// itself is always empty — tick-cur events live in the run queue — and
+// for k >= 1 an event in the cursor slot can only be a next-epoch event,
+// because current-epoch cursor-slot events are cascaded away whenever the
+// cursor moves).
+func (w *Wheel) bestCandidate() int64 {
+	best := int64(-1)
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		occ := w.occupied[lvl]
+		if occ == 0 {
+			continue
+		}
+		shift := wheelBits * uint(lvl)
+		ck := uint((w.cur >> shift) & wheelMask)
+		epoch := w.cur >> (shift + wheelBits)
+		var s uint
+		if hi := occ >> ck >> 1; hi != 0 {
+			s = ck + 1 + uint(bits.TrailingZeros64(hi))
+		} else {
+			s = uint(bits.TrailingZeros64(occ))
+			epoch++
+		}
+		base := ((epoch << wheelBits) | int64(s)) << shift
+		if best < 0 || base < best {
+			best = base
+		}
+	}
+	return best
+}
+
+// wheelOccupied reports whether any wheel slot holds events.
+func (w *Wheel) wheelOccupied() bool {
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		if w.occupied[lvl] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// findNext advances the cursor until the next due event heads the run
+// queue and returns it without popping, or returns nil when no events
+// are pending. The cursor never overshoots a pending event, so the loop
+// refines toward the true minimum: each iteration either surfaces run
+// queue work or strictly advances the cursor to the smallest possible
+// slot base.
+func (w *Wheel) findNext() *Event {
+	w.syncClock()
+	for {
+		w.drainOverflow()
+		if w.runq.head != nil {
+			return w.runq.head
+		}
+		if !w.wheelOccupied() {
+			if len(w.overflow) == 0 {
+				return nil
+			}
+			// Everything pending is past the horizon: jump straight to
+			// the earliest overflow event; the drain at the top of the
+			// loop then lands it in the run queue.
+			w.advanceCursorTo(int64(w.overflow[0].When))
+			continue
+		}
+		w.advanceCursorTo(w.bestCandidate())
+	}
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// time. It reports whether an event was fired.
+func (w *Wheel) Step() bool {
+	e := w.findNext()
+	if e == nil {
+		return false
+	}
+	w.runq.remove(e)
+	e.where = locNone
+	w.pending--
+	w.clock.AdvanceTo(e.When)
+	fn := e.Fire
+	fn()
+	// Recycle after the callback so a callback never observes its own
+	// event's slot being reused mid-fire.
+	w.recycle(e)
+	return true
+}
+
+// Run fires events until none remain and returns the number fired.
+func (w *Wheel) Run() int {
+	n := 0
+	for w.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil fires events with When <= deadline, advancing the clock to at
+// most deadline, and returns the number fired. If the queue drains
+// first, the clock is still advanced to the deadline.
+func (w *Wheel) RunUntil(deadline Time) int {
+	n := 0
+	for {
+		e := w.findNext()
+		if e == nil || e.When > deadline {
+			break
+		}
+		w.Step()
+		n++
+	}
+	if w.clock.Now() < deadline {
+		w.clock.AdvanceTo(deadline)
+		// The cursor catches up lazily via syncClock on the next call;
+		// it may already be ahead of the deadline and must never move
+		// backwards.
+	}
+	return n
+}

@@ -1,0 +1,458 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// engines lists the two Queue implementations behind the seam; every
+// behavioral test below runs against both.
+var engines = []struct {
+	name string
+	mk   func() Queue
+}{
+	{"heap", func() Queue { return NewEngine() }},
+	{"wheel", func() Queue { return NewWheel() }},
+}
+
+func TestQueueFiresInTimeOrder(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			q := eng.mk()
+			var order []int
+			q.Schedule(30, func() { order = append(order, 3) })
+			q.Schedule(10, func() { order = append(order, 1) })
+			q.Schedule(20, func() { order = append(order, 2) })
+			if n := q.Run(); n != 3 {
+				t.Fatalf("Run fired %d events, want 3", n)
+			}
+			if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+				t.Fatalf("fire order = %v, want [1 2 3]", order)
+			}
+			if q.Now() != 30 {
+				t.Fatalf("Now() = %v, want 30", q.Now())
+			}
+		})
+	}
+}
+
+func TestQueueSameTickFIFO(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			q := eng.mk()
+			var order []int
+			for i := 0; i < 100; i++ {
+				i := i
+				q.Schedule(5, func() { order = append(order, i) })
+			}
+			q.Run()
+			for i, v := range order {
+				if v != i {
+					t.Fatalf("same-tick events fired out of schedule order: %v", order)
+				}
+			}
+		})
+	}
+}
+
+func TestQueueCancelAndReschedule(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			q := eng.mk()
+			var order []int
+			q.Schedule(10, func() { order = append(order, 1) })
+			ev := q.Schedule(20, func() { order = append(order, 2) })
+			q.Schedule(30, func() { order = append(order, 3) })
+			q.Cancel(ev)
+			if !ev.Cancelled() {
+				t.Fatal("Cancelled() = false after Cancel")
+			}
+			q.Cancel(nil) // no-op
+			if got := q.Run(); got != 2 {
+				t.Fatalf("Run fired %d, want 2", got)
+			}
+			if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+				t.Fatalf("order = %v, want [1 3]", order)
+			}
+		})
+	}
+}
+
+func TestQueueEventSchedulesEvent(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			q := eng.mk()
+			var fired []Time
+			q.Schedule(10, func() {
+				fired = append(fired, q.Now())
+				q.Schedule(5, func() { fired = append(fired, q.Now()) })
+				q.Schedule(0, func() { fired = append(fired, q.Now()) })
+			})
+			q.Run()
+			if len(fired) != 3 || fired[0] != 10 || fired[1] != 10 || fired[2] != 15 {
+				t.Fatalf("fired = %v, want [10 10 15]", fired)
+			}
+		})
+	}
+}
+
+func TestQueueRunUntil(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			q := eng.mk()
+			var fired []Time
+			for _, d := range []Duration{5, 15, 25} {
+				q.Schedule(d, func() { fired = append(fired, q.Now()) })
+			}
+			if n := q.RunUntil(20); n != 2 {
+				t.Fatalf("RunUntil fired %d, want 2", n)
+			}
+			if q.Now() != 20 {
+				t.Fatalf("Now() = %v, want 20", q.Now())
+			}
+			if q.Pending() != 1 {
+				t.Fatalf("Pending() = %d, want 1", q.Pending())
+			}
+			// Scheduling between a stopped-short RunUntil and the next
+			// pending event must still fire in time order.
+			q.Schedule(2, func() { fired = append(fired, q.Now()) })
+			q.RunUntil(100)
+			want := []Time{5, 15, 22, 25}
+			if len(fired) != 4 {
+				t.Fatalf("fired = %v, want %v", fired, want)
+			}
+			for i := range want {
+				if fired[i] != want[i] {
+					t.Fatalf("fired = %v, want %v", fired, want)
+				}
+			}
+			if q.Now() != 100 || q.Pending() != 0 {
+				t.Fatalf("Now()=%v Pending()=%d, want 100, 0", q.Now(), q.Pending())
+			}
+		})
+	}
+}
+
+func TestQueueSchedulePanics(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			mustPanic(t, "negative delay", func() { eng.mk().Schedule(-1, func() {}) })
+			q := eng.mk()
+			q.Schedule(10, func() {})
+			q.Run()
+			mustPanic(t, "past ScheduleAt", func() { q.ScheduleAt(5, func() {}) })
+		})
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestWheelOverflow exercises events beyond the wheel horizon, including
+// ties straddling the horizon boundary.
+func TestWheelOverflow(t *testing.T) {
+	w := NewWheel()
+	var fired []Time
+	note := func() { fired = append(fired, w.Now()) }
+	far := Duration(wheelHorizon) * 3
+	w.Schedule(far, note)
+	w.Schedule(far, note)            // same-tick tie in overflow
+	w.Schedule(Duration(wheelHorizon), note)
+	w.Schedule(5, note)
+	w.Schedule(Duration(wheelHorizon-1), note)
+	if n := w.Run(); n != 5 {
+		t.Fatalf("Run fired %d, want 5", n)
+	}
+	want := []Time{5, Time(wheelHorizon - 1), Time(wheelHorizon), Time(far), Time(far)}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestWheelOverflowFIFOAcrossMigration pins the subtle ordering case: an
+// event scheduled long in advance (into overflow) and an event scheduled
+// later for the same tick (directly into the wheel) must still fire in
+// schedule order.
+func TestWheelOverflowFIFOAcrossMigration(t *testing.T) {
+	w := NewWheel()
+	var order []int
+	target := Time(wheelHorizon + 1000)
+	w.ScheduleAt(target, func() { order = append(order, 1) }) // overflow
+	// Advance near the target so the same tick is now inside the horizon.
+	w.Schedule(Duration(2000), func() {
+		w.ScheduleAt(target, func() { order = append(order, 2) }) // wheel direct
+	})
+	w.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+// TestWheelClockSync covers models that advance the shared clock directly
+// between schedules.
+func TestWheelClockSync(t *testing.T) {
+	w := NewWheel()
+	var fired []Time
+	w.Schedule(100*Microsecond, func() { fired = append(fired, w.Now()) })
+	w.Clock().Advance(10 * Microsecond)
+	w.Schedule(5*Microsecond, func() { fired = append(fired, w.Now()) })
+	w.Run()
+	if len(fired) != 2 || fired[0] != Time(15*Microsecond) || fired[1] != Time(100*Microsecond) {
+		t.Fatalf("fired = %v, want [15µs 100µs]", fired)
+	}
+}
+
+// firedRec is one observed firing for the differential log.
+type firedRec struct {
+	id   int
+	when Time
+}
+
+// diffDriver runs an identical randomized workload against one engine.
+// Both drivers consume their own identically-seeded RNG; as long as the
+// engines agree the decision streams stay aligned, and any divergence
+// shows up as differing logs.
+type diffDriver struct {
+	q    Queue
+	rng  *rand.Rand
+	log  []firedRec
+	live []*Event
+	ids  []int
+	next int
+}
+
+func newDiffDriver(q Queue, seed int64) *diffDriver {
+	return &diffDriver{q: q, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay draws from mixed scales so every wheel level, the run queue, and
+// the overflow heap are exercised, with boundary values overrepresented.
+func (d *diffDriver) delay() Duration {
+	switch d.rng.Intn(12) {
+	case 0:
+		return 0
+	case 1:
+		return Duration(d.rng.Int63n(4)) // same-tick clusters
+	case 2:
+		return Duration(d.rng.Int63n(64))
+	case 3:
+		return 63
+	case 4:
+		return 64
+	case 5:
+		return Duration(64 + d.rng.Int63n(4096-64))
+	case 6:
+		return 4096
+	case 7:
+		return Duration(4096 + d.rng.Int63n(1<<18))
+	case 8:
+		return Duration(d.rng.Int63n(1 << 24))
+	case 9:
+		return Duration(wheelHorizon - 1 - d.rng.Int63n(1<<20))
+	case 10:
+		return Duration(wheelHorizon + d.rng.Int63n(1<<20))
+	default:
+		return Duration(d.rng.Int63n(1 << 30))
+	}
+}
+
+func (d *diffDriver) dropLive(id int) {
+	for i, lid := range d.ids {
+		if lid == id {
+			d.ids = append(d.ids[:i], d.ids[i+1:]...)
+			d.live = append(d.live[:i], d.live[i+1:]...)
+			return
+		}
+	}
+}
+
+func (d *diffDriver) schedule(depth int) {
+	id := d.next
+	d.next++
+	delay := d.delay()
+	nested := depth < 3 && d.rng.Intn(4) == 0
+	cancelOther := d.rng.Intn(8) == 0
+	ev := d.q.Schedule(delay, func() {
+		d.log = append(d.log, firedRec{id: id, when: d.q.Now()})
+		d.dropLive(id)
+		if nested {
+			d.schedule(depth + 1)
+		}
+		if cancelOther {
+			d.cancelRandom()
+		}
+	})
+	d.live = append(d.live, ev)
+	d.ids = append(d.ids, id)
+}
+
+func (d *diffDriver) cancelRandom() {
+	if len(d.live) == 0 {
+		return
+	}
+	i := d.rng.Intn(len(d.live))
+	ev, id := d.live[i], d.ids[i]
+	d.q.Cancel(ev)
+	d.dropLive(id)
+	d.log = append(d.log, firedRec{id: -id, when: d.q.Now()})
+}
+
+func (d *diffDriver) run(ops int) {
+	for i := 0; i < ops; i++ {
+		switch d.rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			d.schedule(0)
+		case 5:
+			d.cancelRandom()
+		case 6, 7:
+			d.q.Step()
+		case 8:
+			d.q.RunUntil(d.q.Now().Add(d.delay()))
+		default:
+			for j := 0; j < 3; j++ {
+				d.q.Step()
+			}
+		}
+	}
+	d.q.Run()
+}
+
+// TestEngineDifferential certifies the wheel against the reference heap
+// engine: identical randomized schedule/cancel/step/run-until workloads
+// must produce identical (event, time) firing sequences, identical final
+// clocks, and drain completely.
+func TestEngineDifferential(t *testing.T) {
+	seeds := 40
+	ops := 400
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ref := newDiffDriver(NewEngine(), seed)
+			fast := newDiffDriver(NewWheel(), seed)
+			ref.run(ops)
+			fast.run(ops)
+			if len(ref.log) != len(fast.log) {
+				t.Fatalf("log lengths differ: heap %d, wheel %d", len(ref.log), len(fast.log))
+			}
+			for i := range ref.log {
+				if ref.log[i] != fast.log[i] {
+					t.Fatalf("log[%d]: heap %+v, wheel %+v", i, ref.log[i], fast.log[i])
+				}
+			}
+			if ref.q.Now() != fast.q.Now() {
+				t.Fatalf("final clocks differ: heap %v, wheel %v", ref.q.Now(), fast.q.Now())
+			}
+			if ref.q.Pending() != 0 || fast.q.Pending() != 0 {
+				t.Fatalf("undrained events: heap %d, wheel %d", ref.q.Pending(), fast.q.Pending())
+			}
+		})
+	}
+}
+
+// TestWheelSteadyStateZeroAlloc holds the allocation budget for the
+// wheel's hot path: once the slab free list is warm, a schedule/fire
+// cycle allocates nothing.
+func TestWheelSteadyStateZeroAlloc(t *testing.T) {
+	w := NewWheel()
+	fn := func() {}
+	// Warm the free list and the wheel's internal state.
+	for i := 0; i < 4*wheelSlabSize; i++ {
+		w.Schedule(Duration(i%977), fn)
+	}
+	w.Run()
+	if got := testing.AllocsPerRun(200, func() {
+		w.Schedule(13, fn)
+		w.Schedule(13, fn)
+		w.Schedule(4099, fn)
+		w.Run()
+	}); got != 0 {
+		t.Fatalf("steady-state schedule/fire cycle allocates %v objects, want 0", got)
+	}
+}
+
+// lcg is a tiny deterministic generator for benchmark schedules (no
+// rand.Rand allocation or locking in the timed loop).
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+func benchmarkChurn(b *testing.B, mk func() Queue) {
+	q := mk()
+	fn := func() {}
+	r := lcg(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 512
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			q.Schedule(Duration(r.next()%(1<<20)), fn)
+		}
+		q.Run()
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B)  { benchmarkChurn(b, func() Queue { return NewEngine() }) }
+func BenchmarkWheelChurn(b *testing.B) { benchmarkChurn(b, func() Queue { return NewWheel() }) }
+
+func benchmarkSameTickBurst(b *testing.B, mk func() Queue) {
+	q := mk()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const burst = 1024
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			q.Schedule(100, fn)
+		}
+		q.Run()
+	}
+}
+
+func BenchmarkHeapSameTickBurst(b *testing.B) {
+	benchmarkSameTickBurst(b, func() Queue { return NewEngine() })
+}
+func BenchmarkWheelSameTickBurst(b *testing.B) {
+	benchmarkSameTickBurst(b, func() Queue { return NewWheel() })
+}
+
+func benchmarkScheduleCancel(b *testing.B, mk func() Queue) {
+	q := mk()
+	fn := func() {}
+	r := lcg(7)
+	var evs [512]*Event
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range evs {
+			evs[j] = q.Schedule(Duration(r.next()%(1<<16)), fn)
+		}
+		for j := range evs {
+			q.Cancel(evs[j])
+		}
+		// Keep the clock moving so the queues never grow unbounded.
+		q.RunUntil(q.Now() + 1)
+	}
+}
+
+func BenchmarkHeapScheduleCancel(b *testing.B) {
+	benchmarkScheduleCancel(b, func() Queue { return NewEngine() })
+}
+func BenchmarkWheelScheduleCancel(b *testing.B) {
+	benchmarkScheduleCancel(b, func() Queue { return NewWheel() })
+}

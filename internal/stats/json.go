@@ -1,0 +1,21 @@
+package stats
+
+import "encoding/json"
+
+// MarshalJSON encodes the sample as its observation array, in insertion
+// order. encoding/json prints float64s in their shortest round-tripping
+// form, so a marshal/unmarshal cycle reproduces the sample bit for bit —
+// the property the persistent result memo depends on (a memoized
+// experiment must render byte-identically to a fresh one).
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	if s.values == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.values)
+}
+
+// UnmarshalJSON restores a sample from its observation array.
+func (s *Sample) UnmarshalJSON(data []byte) error {
+	s.values = nil
+	return json.Unmarshal(data, &s.values)
+}

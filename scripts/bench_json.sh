@@ -1,0 +1,76 @@
+#!/bin/sh
+# bench_json.sh [output.json] — machine-readable suite wall-clock timings.
+#
+# Builds pentiumbench from the working tree and times three suite
+# configurations, best of three runs each:
+#   cold   — `run all`, no persistent store (every experiment simulated)
+#   fill   — `run all -memo <fresh dir>` (simulate + populate the store)
+#   warm   — `run all -memo <filled dir>` (every experiment a store hit)
+# The cold/warm outputs are also compared byte for byte; a mismatch fails
+# the script, so the perf numbers can never come from divergent results.
+#
+# Invoked by `make bench-json`, which writes BENCH_pr6.json — the
+# perf-trajectory record this file format exists for.
+set -eu
+
+out="${1:-BENCH_pr6.json}"
+runs=3
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/pentiumbench" ./cmd/pentiumbench
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# time_cmd stdout cmd... — runs the command $runs times, leaving the
+# per-run times (JSON array body) in $times and the best in $best_ms.
+# Sets globals rather than echoing so no subshell swallows the results.
+time_cmd() {
+    stdout="$1"; shift
+    times=""
+    best_ms=""
+    i=0
+    while [ "$i" -lt "$runs" ]; do
+        s=$(now_ms)
+        "$@" > "$stdout" 2>/dev/null
+        e=$(now_ms)
+        d=$((e - s))
+        times="${times}${times:+, }${d}"
+        if [ -z "$best_ms" ] || [ "$d" -lt "$best_ms" ]; then best_ms=$d; fi
+        i=$((i + 1))
+    done
+}
+
+time_cmd "$tmp/cold.txt" "$tmp/pentiumbench" run all
+cold_times="[$times]"; cold_best=$best_ms
+
+time_cmd "$tmp/fill.txt" sh -c "rm -rf '$tmp/store'; exec '$tmp/pentiumbench' run all -memo '$tmp/store'"
+fill_times="[$times]"; fill_best=$best_ms
+
+time_cmd "$tmp/warm.txt" "$tmp/pentiumbench" run all -memo "$tmp/store"
+warm_times="[$times]"; warm_best=$best_ms
+
+cmp -s "$tmp/cold.txt" "$tmp/warm.txt" || {
+    echo "bench_json: memo-warm output differs from cold output" >&2
+    exit 1
+}
+
+speedup=$(awk "BEGIN { printf \"%.1f\", $cold_best / ($warm_best > 0 ? $warm_best : 1) }")
+
+cat > "$out" <<EOF
+{
+  "schema": 1,
+  "go": "$(go env GOVERSION)",
+  "suite": "run all",
+  "runs_per_config": $runs,
+  "cold_ms": $cold_times,
+  "cold_best_ms": $cold_best,
+  "memo_fill_ms": $fill_times,
+  "memo_fill_best_ms": $fill_best,
+  "memo_warm_ms": $warm_times,
+  "memo_warm_best_ms": $warm_best,
+  "warm_speedup": $speedup,
+  "cold_warm_identical": true
+}
+EOF
+echo "wrote $out: cold ${cold_best}ms, fill ${fill_best}ms, warm ${warm_best}ms (${speedup}x warm speedup)"
