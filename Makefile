@@ -23,12 +23,13 @@ short:
 # Certifies the parallel runner race-free (the determinism regression test
 # in internal/core runs the whole suite on an 8-worker pool), the cache
 # fast-path differential tests, the event-engine differential (timer wheel
-# vs reference heap in internal/sim), the memo store, and the
-# fault-injection layer — including the CLI regression that a faulted
-# `faults` report is byte-identical at -j 1 and -j 8 — under the race
-# detector.
+# vs reference heap in internal/sim), the memo store, the NFS server
+# scale-out model (including the 10^4-client -j1/-j8 byte-identity
+# regression), and the fault-injection layer — including the CLI
+# regression that a faulted `faults` report is byte-identical at -j 1
+# and -j 8 — under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/memo/... ./internal/sim/... ./internal/fault/... ./internal/cli/...
+	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/memo/... ./internal/sim/... ./internal/fault/... ./internal/nfsserver/... ./internal/cli/...
 
 vet:
 	$(GO) vet ./...
@@ -40,10 +41,11 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSuite' -benchtime 1x .
 
 # Machine-readable suite wall-clock timings (cold, memo-fill, memo-warm;
-# best of three each, cold/warm outputs compared byte for byte) written
-# to BENCH_pr6.json — the perf-trajectory record.
+# best of three each, cold/warm outputs compared byte for byte) plus the
+# NFS scale-out sweep timings at 10^3 and 10^6 clients, written to
+# BENCH_pr7.json — the perf-trajectory record.
 bench-json:
-	sh scripts/bench_json.sh BENCH_pr6.json
+	sh scripts/bench_json.sh BENCH_pr7.json
 
 # Metric regression gate: re-run the probes with the committed baseline's
 # recorded seed and diff every metric point (exact for integer ledgers,

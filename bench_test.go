@@ -16,6 +16,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/nfsserver"
+	"repro/internal/osprofile"
 )
 
 // runExhibit executes one experiment per b.N iteration and attaches the
@@ -109,6 +111,29 @@ func BenchmarkAblationMemoryPressure(b *testing.B)   { runExhibit(b, "A7") }
 func BenchmarkSupplementMABPhases(b *testing.B)     { runExhibit(b, "X1") }
 func BenchmarkSupplementCrtdelDiskOps(b *testing.B) { runExhibit(b, "X2") }
 
+// Scale-out exhibits: the full S1/S2 sweeps, then single server-model
+// points at the populations the perf record tracks. The custom metric is
+// the modelled served rate; ns/op is the cost of simulating the point.
+
+func BenchmarkScaleThroughputSweep(b *testing.B) { runExhibit(b, "S1") }
+func BenchmarkScaleLatencySweep(b *testing.B)    { runExhibit(b, "S2") }
+
+func benchScalePoint(b *testing.B, clients int) {
+	b.Helper()
+	cfg := nfsserver.Config{Profile: osprofile.Linux128(), Clients: clients, Seed: 1}
+	var res *nfsserver.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = nfsserver.Run(cfg)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.Throughput(), "modelled_opsps")
+	b.ReportMetric(float64(res.Completed), "served_ops")
+}
+
+func BenchmarkScaleServer1kClients(b *testing.B) { benchScalePoint(b, 1_000) }
+func BenchmarkScaleServer1MClients(b *testing.B) { benchScalePoint(b, 1_000_000) }
+
 // Whole-suite benchmarks: the wall-clock cost of regenerating every
 // exhibit. Serial is the seed harness's schedule (direct Run calls, no
 // memo); Parallel is the core.Runner at the GOMAXPROCS default, which
@@ -151,6 +176,7 @@ func TestEveryExhibitHasABenchmark(t *testing.T) {
 		"F13": true,
 		"A1":  true, "A2": true, "A3": true, "A4": true, "A5": true, "A6": true, "A7": true,
 		"X1": true, "X2": true,
+		"S1": true, "S2": true,
 	}
 	for _, e := range core.All() {
 		if !covered[e.ID] {

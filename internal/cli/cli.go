@@ -77,8 +77,10 @@ func (a *App) Execute(args []string) int {
 	outFile := fl.String("o", "", "profile: write output to this file instead of stdout")
 	baseFile := fl.String("baseline", "BENCH_baseline.json", "baseline record/check: the baseline file path")
 	tol := fl.Float64("tol", 0, "baseline check/diff: relative tolerance for non-integer metrics (0 = default 1e-9); integer ledgers always match exactly")
+	clients := fl.Int("clients", 0, "scale: sweep client populations in decades up to this count (default 1000000); trace/metrics/profile: the S1/S2 probes' population (default 1000)")
+	nfsd := fl.Int("nfsd", 0, "scale and the S1/S2 probes: server worker-slot (nfsd) count (default 8)")
 	planFile := fl.String("plan", "", "faults: the fault plan JSON file to inject (see examples/lossy-nfs.json)")
-	faultsFile := fl.String("faults", "", "trace/metrics/profile: inject this fault plan JSON into the probes")
+	faultsFile := fl.String("faults", "", "scale/trace/metrics/profile: inject this fault plan JSON into the probes")
 	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
 	memoDir := fl.String("memo", "", "persistent result-memo directory for run/csv/svg/experiments/html (a cold run fills it; an unchanged re-run is served from it)")
 	cpuProfile := fl.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
@@ -102,7 +104,7 @@ func (a *App) Execute(args []string) int {
 		remaining = remaining[1:]
 	}
 
-	if msg := flagRangeError(*runs, *workers, *procs, *trials, *topN, *eps, *tol); msg != "" {
+	if msg := flagRangeError(*runs, *workers, *procs, *trials, *topN, *clients, *nfsd, *eps, *tol); msg != "" {
 		fmt.Fprintln(a.Stderr, "pentiumbench:", msg)
 		return 2
 	}
@@ -153,6 +155,7 @@ func (a *App) Execute(args []string) int {
 		showStats: *showStats, outDir: *outDir, eps: *eps, trials: *trials,
 		procs: *procs, format: *format, top: *topN, out: *outFile,
 		baseline: *baseFile, tol: *tol, plan: plan, faults: faultPlan,
+		clients: *clients, nfsd: *nfsd,
 	}
 	return a.profiled(*cpuProfile, *memProfile, func() int {
 		return a.recovered(func() int {
@@ -164,7 +167,7 @@ func (a *App) Execute(args []string) int {
 // flagRangeError bounds-checks the numeric flags. The flag package
 // already rejects malformed syntax ("-j x"); these catch values that
 // parse but mean nothing ("-j -3", "-tol NaN") before any model runs.
-func flagRangeError(runs, workers, procs, trials, top int, eps, tol float64) string {
+func flagRangeError(runs, workers, procs, trials, top, clients, nfsd int, eps, tol float64) string {
 	badFloat := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
 	switch {
 	case runs <= 0:
@@ -177,6 +180,10 @@ func flagRangeError(runs, workers, procs, trials, top int, eps, tol float64) str
 		return fmt.Sprintf("-trials must be positive (got %d)", trials)
 	case top < 0:
 		return fmt.Sprintf("-top must be >= 0 (got %d)", top)
+	case clients < 0:
+		return fmt.Sprintf("-clients must be >= 0, 0 meaning the command default (got %d)", clients)
+	case nfsd < 0:
+		return fmt.Sprintf("-nfsd must be >= 0, 0 meaning the default 8 (got %d)", nfsd)
 	case badFloat(eps):
 		return fmt.Sprintf("-eps must be a finite non-negative number (got %v)", eps)
 	case badFloat(tol):
@@ -249,9 +256,14 @@ type cmdOpts struct {
 	baseline  string
 	tol       float64
 	// plan is the -plan fault plan (faults command only); faults is the
-	// -faults plan injected into trace/metrics/profile probes.
+	// -faults plan injected into scale/trace/metrics/profile probes.
 	plan   *fault.Plan
 	faults *fault.Plan
+	// clients and nfsd shape the NFS server model: the scale sweep's
+	// maximum population and the S1/S2 probes' population, and the
+	// server worker-slot count (0 selects the defaults).
+	clients int
+	nfsd    int
 }
 
 // dispatch routes a parsed command line to its subcommand.
@@ -261,9 +273,9 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 	procs, format := o.procs, o.format
 	if o.faults != nil {
 		switch rest[0] {
-		case "trace", "metrics", "profile":
+		case "scale", "trace", "metrics", "profile":
 		default:
-			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only trace, metrics and profile take it; see the faults command)\n", rest[0])
+			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only scale, trace, metrics and profile take it; see the faults command)\n", rest[0])
 			return 2
 		}
 	}
@@ -276,7 +288,7 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 		}
 	}
 	if o.plan != nil && rest[0] != "faults" {
-		fmt.Fprintln(a.Stderr, "pentiumbench: -plan only applies to the faults command (use -faults with trace/metrics/profile)")
+		fmt.Fprintln(a.Stderr, "pentiumbench: -plan only applies to the faults command (use -faults with scale/trace/metrics/profile)")
 		return 2
 	}
 	switch rest[0] {
@@ -305,16 +317,17 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 	case "latency":
 		a.latency(cfg)
 		return 0
+	case "scale":
+		return a.scale(cfg, o.clients, o.nfsd, o.faults)
 	case "trace":
-		return a.trace(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs, Faults: o.faults},
-			format, o.top)
+		return a.trace(cfg, runner, rest[1:], a.probeOpts(o), format, o.top)
 	case "metrics":
-		return a.metrics(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs, Faults: o.faults})
+		return a.metrics(cfg, runner, rest[1:], a.probeOpts(o))
 	case "profile":
-		return a.profileCmd(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs, Faults: o.faults},
-			format, o.top, o.out)
+		return a.profileCmd(cfg, runner, rest[1:], a.probeOpts(o), format, o.top, o.out)
 	case "faults":
-		return a.faults(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs}, o.plan)
+		return a.faults(cfg, runner, rest[1:],
+			core.ObserveOpts{Procs: procs, Clients: o.clients, Nfsd: o.nfsd}, o.plan)
 	case "baseline":
 		return a.baseline(cfg, runner, rest[1:], core.ObserveOpts{Procs: procs},
 			o.baseline, o.tol)
@@ -331,6 +344,13 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 		a.usage(fl)
 		return 2
 	}
+}
+
+// probeOpts assembles the ObserveOpts for trace/metrics/profile from
+// the shared flag values (the faults command builds its own clean and
+// faulted pairs).
+func (a *App) probeOpts(o cmdOpts) core.ObserveOpts {
+	return core.ObserveOpts{Procs: o.procs, Clients: o.clients, Nfsd: o.nfsd, Faults: o.faults}
 }
 
 // profiled runs cmd, optionally bracketed by pprof capture. The CPU
@@ -400,6 +420,12 @@ commands:
   sensitivity     re-check claims under perturbed calibration (-eps, -trials)
   replay <trace>  time a workload trace (builtin name or file) on every system
   latency         lmbench-style latency probes for every system
+  scale           sweep the NFS server model's client population in
+                  decades (10 up to -clients, default 1000000) and print
+                  each personality's served throughput, streaming
+                  latency percentiles (p50/p99/p999) and overload
+                  counters; -nfsd sets the worker-slot count, -faults
+                  injects a fault plan into every point
   trace [ids|all] bare: annotated kernel timeline of one token-ring lap per
                   system (-procs sets the ring size). With experiment ids:
                   run the observability probes and export their span
@@ -421,7 +447,7 @@ commands:
                   examples/lossy-nfs.json) and report the slowdown per
                   system plus the injected-fault counters. 'all' selects
                   the faultable probes. The same plan can be injected
-                  into trace/metrics/profile with -faults <file>
+                  into scale/trace/metrics/profile with -faults <file>
   baseline record [ids|all]   record the probes' canonical metric
                   snapshot to -baseline (default BENCH_baseline.json)
   baseline check  re-run with the baseline's recorded seed and ids and

@@ -121,6 +121,8 @@ func TestNumericFlagRangeErrors(t *testing.T) {
 		{"procs negative", []string{"-procs", "-4", "trace"}, "-procs must be >= 0"},
 		{"trials zero", []string{"-trials", "0", "sensitivity"}, "-trials must be positive"},
 		{"top negative", []string{"-top", "-1", "profile", "F12"}, "-top must be >= 0"},
+		{"clients negative", []string{"-clients", "-5", "scale"}, "-clients must be >= 0"},
+		{"nfsd negative", []string{"-nfsd", "-2", "scale"}, "-nfsd must be >= 0"},
 		{"eps nan", []string{"-eps", "NaN", "sensitivity"}, "-eps must be a finite non-negative number"},
 		{"tol negative", []string{"-tol", "-0.5", "baseline", "check"}, "-tol must be a finite non-negative number"},
 		{"tol inf", []string{"-tol", "Inf", "baseline", "check"}, "-tol must be a finite non-negative number"},

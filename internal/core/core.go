@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/memmodel"
 	"repro/internal/memo"
+	"repro/internal/nfsserver"
 	"repro/internal/osprofile"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -64,6 +65,11 @@ type Config struct {
 	// one suite run; nil disables memoization. Results are identical
 	// either way — the model is a pure function of the memo key.
 	memo *memmodel.SweepCache
+	// scale caches NFS scale-out sweep points (S1/S2 share every
+	// (personality, clients) server run) across one suite run; nil runs
+	// each point directly. The server model is a pure function of the
+	// key, so the cache changes wall-clock time, never values.
+	scale *memo.Table[scaleKey, *nfsserver.Result]
 }
 
 // DefaultConfig returns the paper's protocol: twenty runs of Linux 1.2.8,
@@ -186,9 +192,10 @@ func All() []*Experiment {
 const rankUnknown = 1 << 20
 
 // rank orders experiment IDs: T2..T7, then F1..F13, then A1..A7, then the
-// supplementary X exhibits. A malformed ID — empty, a bare letter, or a
-// non-numeric suffix like "T2b" — ranks after everything rather than
-// silently parsing as 0 and jumping the queue.
+// supplementary X exhibits, then the S scale-out exhibits. A malformed
+// ID — empty, a bare letter, or a non-numeric suffix like "T2b" — ranks
+// after everything rather than silently parsing as 0 and jumping the
+// queue.
 func rank(id string) int {
 	if len(id) < 2 {
 		return rankUnknown
@@ -206,6 +213,8 @@ func rank(id string) int {
 		return 200 + n
 	case 'X':
 		return 300 + n
+	case 'S':
+		return 400 + n
 	}
 	return rankUnknown
 }

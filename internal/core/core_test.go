@@ -28,6 +28,7 @@ func TestRegistryCoversEveryExhibit(t *testing.T) {
 		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13",
 		"A1", "A2", "A3", "A4", "A5", "A6", "A7",
 		"X1", "X2",
+		"S1", "S2",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/memmodel"
+	"repro/internal/nfsserver"
 	"repro/internal/obs"
 	"repro/internal/osprofile"
 	"repro/internal/profile"
@@ -62,6 +63,11 @@ type ObserveOpts struct {
 	FileBytes int64
 	// PacketSize is the datagram size for the F13 probe (default 1024).
 	PacketSize int
+	// Clients is the client population for the S1/S2 scale probes
+	// (default 1000 — the knee of the curves); Nfsd is the server's
+	// worker-slot count (default 8).
+	Clients int
+	Nfsd    int
 	// Faults, when non-nil and active, injects the plan's faults into
 	// the probes that model faultable hardware (disk, network, buffer
 	// cache): T5, T6, T7, F12 and F13. Each (experiment, personality)
@@ -80,6 +86,12 @@ func (o ObserveOpts) withDefaults() ObserveOpts {
 	if o.PacketSize <= 0 {
 		o.PacketSize = 1024
 	}
+	if o.Clients <= 0 {
+		o.Clients = 1000
+	}
+	if o.Nfsd <= 0 {
+		o.Nfsd = scaleNfsd
+	}
 	return o
 }
 
@@ -97,7 +109,7 @@ var memRoutines = map[string]memmodel.Routine{
 // ObservableIDs returns the experiment IDs Observe has probes for, in
 // presentation order.
 func ObservableIDs() []string {
-	ids := []string{"T2", "T4", "T5", "T6", "T7", "F1", "F12", "F13"}
+	ids := []string{"T2", "T4", "T5", "T6", "T7", "F1", "F12", "F13", "S1", "S2"}
 	for id := range memRoutines {
 		ids = append(ids, id)
 	}
@@ -119,7 +131,7 @@ func ObservableIDs() []string {
 // the fault injectors: the ones modelling disk, network or buffer-cache
 // hardware. The other probes run identically under any plan.
 func FaultableIDs() []string {
-	return []string{"T5", "T6", "T7", "F12", "F13"}
+	return []string{"T5", "T6", "T7", "F12", "F13", "S1", "S2"}
 }
 
 // rows extracts attribution rows from a snapshot: the counters carrying
@@ -232,6 +244,46 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 		for _, p := range profiles {
 			_, o := bench.TTCPObserved(p, opts.PacketSize, injFor(cfg, opts, id, p))
 			out.Runs = append(out.Runs, benchRun(p.String(), o, "udp.", "_us"))
+		}
+	case "S1", "S2":
+		// Both scale exhibits probe the same server model; each
+		// personality gets one run at opts.Clients with per-nfsd-slot
+		// span tracks and the exact phase ledger as its rows.
+		for _, p := range profiles {
+			inj := injFor(cfg, opts, id, p)
+			srv := nfsserver.New(nfsserver.Config{
+				Profile: p,
+				Clients: opts.Clients,
+				Nfsd:    opts.Nfsd,
+				Seed:    cfg.Seed ^ saltFor("scale", p.Name, opts.Clients),
+				Faults:  inj.Net,
+			})
+			rec := obs.NewRing(srv.Clock(), bench.TraceRingCap)
+			srv.SetRecorder(rec)
+			res := srv.Run()
+			reg := obs.NewRegistry()
+			res.FoldMetrics(reg, "scale.")
+			inj.FoldMetrics(reg, "fault.")
+			led := res.Ledger
+			for _, ph := range []struct {
+				name string
+				v    sim.Duration
+			}{
+				{"wire", led.Wire}, {"rto", led.RTO},
+				{"queue_wait", led.QueueWait}, {"cpu", led.CPU},
+				{"disk_wait", led.DiskWait}, {"disk_time", led.DiskTime},
+			} {
+				reg.Counter("scale.phase_us." + ph.name).Add(ph.v.Microseconds())
+			}
+			snap := reg.Snapshot()
+			out.Runs = append(out.Runs, ObservedRun{
+				Label:   p.String(),
+				Unit:    "µs",
+				Rows:    rows(snap, "scale.phase_us.", ""),
+				Total:   led.Sum().Microseconds(),
+				Process: rec.Capture(fmt.Sprintf("%s %s", id, p)),
+				Metrics: snap,
+			})
 		}
 	default:
 		return nil, fmt.Errorf("core: no observability probe for %q (have %v)", id, ObservableIDs())

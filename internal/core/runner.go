@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/memmodel"
 	"repro/internal/memo"
+	"repro/internal/nfsserver"
 )
 
 // workPool is the bounded token pool a Runner shares with the experiments
@@ -180,6 +181,7 @@ func (r *Runner) RunAll(cfg Config, exps []*Experiment) ([]*Result, *RunStats) {
 	w := r.workers()
 	sweeps := memmodel.NewSweepCache()
 	cfg.memo = sweeps
+	cfg.scale = memo.NewTable[scaleKey, *nfsserver.Result]()
 	st := &RunStats{
 		Workers:     w,
 		Jobs:        len(exps),

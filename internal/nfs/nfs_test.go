@@ -1,10 +1,12 @@
 package nfs
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/netstack"
 	"repro/internal/osprofile"
@@ -342,5 +344,61 @@ func TestRenameOverNFS(t *testing.T) {
 	g.Close()
 	if err := m.Rename("/missing", "/x"); err == nil {
 		t.Fatal("rename of missing file must fail")
+	}
+}
+
+// A scale-out population shares one fault-plan RNG fork across thousands
+// of mounts. Every injected drop must be attributed to exactly one
+// mount, so summing per-mount Stats reproduces the injector's totals —
+// and retransmitted requests must count their wire bytes again.
+func TestRetransmitCountersAggregateAcrossMounts(t *testing.T) {
+	const mounts = 1000
+	run := func(inj *fault.NetInjector) Stats {
+		server := linuxServer()
+		var total Stats
+		for i := 0; i < mounts; i++ {
+			clock := &sim.Clock{}
+			m, err := NewMount(clock, osprofile.Linux128(), server, netstack.Ethernet10(), MountOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetFaults(inj)
+			path := fmt.Sprintf("/f%d", i)
+			f, err := m.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(8 << 10)
+			f.Close()
+			if _, err := m.Stat(path); err != nil {
+				t.Fatal(err)
+			}
+			total.Add(m.Stats())
+		}
+		return total
+	}
+
+	clean := run(nil)
+	plan := &fault.Plan{}
+	plan.Net.UDPLossProb = 0.05
+	inj := fault.New(plan, sim.NewRNG(99)).Net
+	lossy := run(inj)
+
+	if lossy.Retransmits == 0 {
+		t.Fatal("5% loss across 1000 mounts produced no retransmits")
+	}
+	if lossy.Retransmits != inj.RPCRetransmits {
+		t.Fatalf("sum of per-mount retransmits %d != shared injector's %d",
+			lossy.Retransmits, inj.RPCRetransmits)
+	}
+	// Loss changes timing, never the operation stream: the RPC counts
+	// match, and the lossy population's extra wire bytes are exactly its
+	// retransmitted requests.
+	if lossy.RPCs != clean.RPCs {
+		t.Fatalf("loss changed the RPC count: %d vs %d", lossy.RPCs, clean.RPCs)
+	}
+	if lossy.BytesToWire <= clean.BytesToWire {
+		t.Fatalf("retransmitted requests added no wire bytes: %d vs %d",
+			lossy.BytesToWire, clean.BytesToWire)
 	}
 }

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
+
+// Histogram is a fixed-boundary log-bucket histogram of non-negative
+// int64 observations (latencies in virtual nanoseconds, in this
+// repository). The bucket boundaries are a pure function of the value —
+// 32 sub-buckets per power of two, values below 32 recorded exactly — so
+// two histograms built from the same observations in any order, on any
+// worker, are identical field for field, and merging is exact integer
+// addition. Memory is constant: no observation is ever stored, which is
+// what lets a million-client sweep report percentiles in O(1) space per
+// operation.
+//
+// The relative quantization error of a bucket is below 1/32 (~3.1%);
+// Quantile returns a bucket's upper boundary, so reported percentiles
+// never understate the observed latency by more than one bucket width.
+//
+// The zero value is an empty histogram ready to use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    int64
+	max    int64
+}
+
+// Log-bucket geometry: histSubBits sub-buckets per octave. Values in
+// [0, histSubBuckets) map to their own exact bucket; a value v >= 32 with
+// top bit e maps to octave e-histSubBits+1, sub-bucket given by the
+// histSubBits bits below the top bit.
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits // 32
+	// histBuckets covers every non-negative int64: octave 0 (exact
+	// values 0..31) plus 58 log octaves of 32 sub-buckets.
+	histBuckets = histSubBuckets * (64 - histSubBits + 1)
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // top set bit, >= histSubBits
+	shift := uint(e - histSubBits)
+	// v>>shift lies in [32, 64), so octave e's buckets follow octave
+	// e-1's contiguously.
+	return histSubBuckets*(e-histSubBits) + int(uint64(v)>>shift)
+}
+
+// bucketUpper returns the largest value mapping to bucket i (the
+// boundary Quantile reports).
+func bucketUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	t := i / histSubBuckets // >= 1; the octave offset
+	shift := uint(t - 1)
+	s := int64(i - histSubBuckets*(t-1)) // in [32, 64)
+	lower := s << shift
+	return lower + (int64(1) << shift) - 1
+}
+
+// Observe records one observation. Negative values clamp to zero (the
+// histogram holds durations, and virtual time is monotonic — a negative
+// duration is a model bug upstream, not a value to bucket).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Sum returns the exact sum of all observations (negatives clamped).
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest observation, exactly (not bucket-quantized).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the exact arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by the nearest-rank
+// rule: the upper boundary of the bucket holding the ceil(q*N)-th
+// smallest observation. Q(0) is the first bucket's boundary, Q(1) the
+// last's. An empty histogram returns 0. Out-of-range q panics: a caller
+// asking for p-120 has a bug worth surfacing.
+func (h *Histogram) Quantile(q float64) int64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if h.n == 0 {
+		return 0
+	}
+	// Nearest rank: k in [1, n].
+	k := uint64(q * float64(h.n))
+	if float64(k) < q*float64(h.n) {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > h.n {
+		k = h.n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= k {
+			return bucketUpper(i)
+		}
+	}
+	// Unreachable: counts sum to n.
+	return bucketUpper(histBuckets - 1)
+}
+
+// Merge adds every bucket of o into h — exact integer addition, so
+// merging per-shard histograms in any order yields the same result as
+// observing the union directly.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// histogramJSON is the wire form: sparse [bucket, count] pairs in
+// ascending bucket order (deterministic — no map iteration), plus the
+// exact sum and max that buckets alone cannot reproduce.
+type histogramJSON struct {
+	N       uint64     `json:"n"`
+	Sum     int64      `json:"sum"`
+	Max     int64      `json:"max"`
+	Buckets [][2]int64 `json:"buckets"`
+}
+
+// MarshalJSON encodes the histogram sparsely and deterministically:
+// identical histograms marshal to identical bytes.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	enc := histogramJSON{N: h.n, Sum: h.sum, Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			enc.Buckets = append(enc.Buckets, [2]int64{int64(i), int64(c)})
+		}
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON restores a histogram from its wire form. A round trip
+// reproduces the histogram field for field.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var enc histogramJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return err
+	}
+	*h = Histogram{n: enc.N, sum: enc.Sum, max: enc.Max}
+	for _, b := range enc.Buckets {
+		if b[0] < 0 || b[0] >= histBuckets {
+			return fmt.Errorf("stats: histogram bucket %d outside [0,%d)", b[0], histBuckets)
+		}
+		if b[1] < 0 {
+			return fmt.Errorf("stats: negative histogram count %d", b[1])
+		}
+		h.counts[b[0]] = uint64(b[1])
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketMappingExactBelow32(t *testing.T) {
+	for v := int64(0); v < 32; v++ {
+		h := &Histogram{}
+		h.Observe(v)
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Fatalf("Quantile(%v) of single value %d = %d, want exact", q, v, got)
+			}
+		}
+	}
+}
+
+func TestHistogramBucketBoundariesConsistent(t *testing.T) {
+	// Every bucket's upper boundary must map back into the bucket, and the
+	// next value must map to a later bucket.
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if up < 0 {
+			// Octaves past int64 range overflow; the mapping never produces
+			// them for valid inputs.
+			continue
+		}
+		if got := bucketOf(up); got != i {
+			t.Fatalf("bucketOf(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if up < math.MaxInt64 {
+			if got := bucketOf(up + 1); got <= i {
+				t.Fatalf("bucketOf(%d) = %d, want > %d", up+1, got, i)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := &Histogram{}
+	if empty.Quantile(0.5) != 0 || empty.N() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+
+	single := &Histogram{}
+	single.Observe(1_000_000)
+	p50, p999 := single.Quantile(0.5), single.Quantile(0.999)
+	if p50 != p999 {
+		t.Fatalf("single-op histogram: p50 %d != p999 %d", p50, p999)
+	}
+	if rel := float64(p50-1_000_000) / 1e6; rel < 0 || rel > 1.0/32 {
+		t.Fatalf("single-op quantile %d outside one bucket above 1e6", p50)
+	}
+
+	onebucket := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		onebucket.Observe(1024) // exact power of two: all in one bucket
+	}
+	if onebucket.Quantile(0) != onebucket.Quantile(1) {
+		t.Fatal("all-in-one-bucket histogram must report one boundary everywhere")
+	}
+	if onebucket.Sum() != 1024*1000 || onebucket.Max() != 1024 {
+		t.Fatalf("sum/max wrong: %d/%d", onebucket.Sum(), onebucket.Max())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v < 1<<20; v = v*3 + 7 {
+		h.Observe(v)
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone at q=%v: %d < %d", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-5)
+	if h.N() != 1 || h.Sum() != 0 || h.Quantile(1) != 0 {
+		t.Fatal("negative observation must clamp to zero")
+	}
+}
+
+func TestHistogramMergeOrderInvariance(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 1000, 1024, 1 << 20, 7_777_777, 1 << 40}
+	build := func(order []int) *Histogram {
+		h := &Histogram{}
+		for _, i := range order {
+			h.Observe(vals[i])
+		}
+		return h
+	}
+	direct := build([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+
+	a := build([]int{9, 7, 5, 3, 1})
+	b := build([]int{0, 2, 4, 6, 8})
+	ab := &Histogram{}
+	ab.Merge(a)
+	ab.Merge(b)
+	ba := &Histogram{}
+	ba.Merge(b)
+	ba.Merge(a)
+
+	for _, m := range []*Histogram{ab, ba} {
+		if *m != *direct {
+			t.Fatal("merged histogram differs from directly observed histogram")
+		}
+	}
+	jd, _ := json.Marshal(direct)
+	jm, _ := json.Marshal(ab)
+	if !bytes.Equal(jd, jm) {
+		t.Fatalf("merge-order JSON mismatch:\n%s\n%s", jd, jm)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v < 1<<30; v = v*5 + 3 {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *h {
+		t.Fatal("JSON round trip changed the histogram")
+	}
+	data2, _ := json.Marshal(&back)
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-marshal not byte-identical")
+	}
+}
+
+func TestHistogramJSONRejectsBadBuckets(t *testing.T) {
+	for _, bad := range []string{
+		`{"n":1,"sum":1,"max":1,"buckets":[[-1,1]]}`,
+		`{"n":1,"sum":1,"max":1,"buckets":[[999999,1]]}`,
+		`{"n":1,"sum":1,"max":1,"buckets":[[3,-2]]}`,
+	} {
+		var h Histogram
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Fatalf("accepted bad histogram JSON %s", bad)
+		}
+	}
+}
+
+func TestHistogramQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(1.2) did not panic")
+		}
+	}()
+	(&Histogram{}).Quantile(1.2)
+}

@@ -9,11 +9,16 @@
 # The cold/warm outputs are also compared byte for byte; a mismatch fails
 # the script, so the perf numbers can never come from divergent results.
 #
-# Invoked by `make bench-json`, which writes BENCH_pr6.json — the
+# It also times the NFS scale-out sweeps (`scale`) at 10^3 and 10^6
+# clients and records their wall times plus the modelled served rate at
+# the sweep's top population (Linux personality), so the O(1)-per-op
+# server model's speed has a trajectory too.
+#
+# Invoked by `make bench-json`, which writes BENCH_pr7.json — the
 # perf-trajectory record this file format exists for.
 set -eu
 
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 runs=3
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -55,6 +60,18 @@ cmp -s "$tmp/cold.txt" "$tmp/warm.txt" || {
     exit 1
 }
 
+time_cmd "$tmp/scale1k.txt" "$tmp/pentiumbench" -clients 1000 scale
+scale1k_times="[$times]"; scale1k_best=$best_ms
+
+time_cmd "$tmp/scale1m.txt" "$tmp/pentiumbench" -clients 1000000 scale
+scale1m_times="[$times]"; scale1m_best=$best_ms
+
+# Modelled served throughput (ops/s column) at the sweep's top
+# population, first personality (Linux) — deterministic, so drift here
+# is a result regression, not noise.
+scale1k_opsps=$(awk '$1 == "1000"    { print $2; exit }' "$tmp/scale1k.txt")
+scale1m_opsps=$(awk '$1 == "1000000" { print $2; exit }' "$tmp/scale1m.txt")
+
 speedup=$(awk "BEGIN { printf \"%.1f\", $cold_best / ($warm_best > 0 ? $warm_best : 1) }")
 
 cat > "$out" <<EOF
@@ -70,7 +87,13 @@ cat > "$out" <<EOF
   "memo_warm_ms": $warm_times,
   "memo_warm_best_ms": $warm_best,
   "warm_speedup": $speedup,
-  "cold_warm_identical": true
+  "cold_warm_identical": true,
+  "scale_1k_ms": $scale1k_times,
+  "scale_1k_best_ms": $scale1k_best,
+  "scale_1k_modelled_opsps": $scale1k_opsps,
+  "scale_1m_ms": $scale1m_times,
+  "scale_1m_best_ms": $scale1m_best,
+  "scale_1m_modelled_opsps": $scale1m_opsps
 }
 EOF
-echo "wrote $out: cold ${cold_best}ms, fill ${fill_best}ms, warm ${warm_best}ms (${speedup}x warm speedup)"
+echo "wrote $out: cold ${cold_best}ms, fill ${fill_best}ms, warm ${warm_best}ms (${speedup}x warm speedup), scale 10^3 ${scale1k_best}ms / 10^6 ${scale1m_best}ms"
