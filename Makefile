@@ -41,11 +41,12 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSuite' -benchtime 1x .
 
 # Machine-readable suite wall-clock timings (cold, memo-fill, memo-warm;
-# best of three each, cold/warm outputs compared byte for byte) plus the
-# NFS scale-out sweep timings at 10^3 and 10^6 clients, written to
-# BENCH_pr7.json — the perf-trajectory record.
+# best of three each, cold/warm outputs compared byte for byte), the NFS
+# scale-out sweep timings at 10^3 and 10^6 clients, and the `serve`
+# replay throughput under concurrent load, written to BENCH_pr8.json —
+# the perf-trajectory record.
 bench-json:
-	sh scripts/bench_json.sh BENCH_pr7.json
+	sh scripts/bench_json.sh BENCH_pr8.json
 
 # Metric regression gate: re-run the probes with the committed baseline's
 # recorded seed and diff every metric point (exact for integer ledgers,

@@ -62,12 +62,20 @@ func GetpidObserved(plat Platform, p *osprofile.Profile) (sim.Duration, Observat
 // of a context switch into syscall-entry, copy, wakeup and dispatch
 // spans.
 func CtxObserved(plat Platform, p *osprofile.Profile, nproc int, order CtxOrder) (sim.Duration, Observation) {
+	return CtxSampled(plat, p, nproc, order, nil)
+}
+
+// CtxSampled is CtxObserved with a virtual-time time-series sampler
+// attached to the machine (kernel.switches per window, kernel.runnable
+// gauge). A nil sampler makes it exactly CtxObserved.
+func CtxSampled(plat Platform, p *osprofile.Profile, nproc int, order CtxOrder, smp *obs.Sampler) (sim.Duration, Observation) {
 	if nproc < 2 {
 		panic("bench: ctx needs at least two processes")
 	}
 	m := kernel.MustMachine(plat.CPU, p, sim.NewRNG(0))
 	rec := obs.NewRing(m.Clock(), TraceRingCap)
 	m.Observe(rec)
+	m.SetSampler(smp)
 	d := ctxOn(m, nproc, order)
 	return d, captureMachine(m, rec, p)
 }
@@ -88,8 +96,17 @@ func BwPipeObserved(plat Platform, p *osprofile.Profile) (float64, Observation) 
 // stays exact under injection; zero-value injectors add nothing and the
 // run is byte-identical to the unfaulted one.
 func CrtdelObserved(plat Platform, p *osprofile.Profile, fileBytes int64, seed uint64, inj fault.Injectors) (sim.Duration, Observation) {
+	return CrtdelSampled(plat, p, fileBytes, seed, inj, nil)
+}
+
+// CrtdelSampled is CrtdelObserved with a virtual-time time-series
+// sampler attached to the benchmark disk (disk.ops, disk.busy_ns and
+// injected fault time per window). A nil sampler makes it exactly
+// CrtdelObserved.
+func CrtdelSampled(plat Platform, p *osprofile.Profile, fileBytes int64, seed uint64, inj fault.Injectors, smp *obs.Sampler) (sim.Duration, Observation) {
 	clock, fsys := crtdelSetup(plat, p, seed)
 	fsys.SetFaults(inj)
+	fsys.Disk().Sample(clock, smp)
 	rec := obs.NewRing(clock, TraceRingCap)
 	fsys.Observe(rec)
 	d := crtdelOn(clock, fsys, fileBytes)

@@ -82,7 +82,9 @@ func (a *App) Execute(args []string) int {
 	planFile := fl.String("plan", "", "faults: the fault plan JSON file to inject (see examples/lossy-nfs.json)")
 	faultsFile := fl.String("faults", "", "scale/trace/metrics/profile: inject this fault plan JSON into the probes")
 	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
-	memoDir := fl.String("memo", "", "persistent result-memo directory for run/csv/svg/experiments/html (a cold run fills it; an unchanged re-run is served from it)")
+	memoDir := fl.String("memo", "", "persistent result-memo directory for run/csv/svg/experiments/html/serve (a cold run fills it; an unchanged re-run is served from it)")
+	window := fl.Duration("window", 100*time.Millisecond, "timeseries/serve: virtual-time sampler window width")
+	addr := fl.String("addr", "127.0.0.1:8080", "serve: listen address (use :0 for a random port)")
 	cpuProfile := fl.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
 	memProfile := fl.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 	fl.Usage = func() { a.usage(fl) }
@@ -156,6 +158,7 @@ func (a *App) Execute(args []string) int {
 		procs: *procs, format: *format, top: *topN, out: *outFile,
 		baseline: *baseFile, tol: *tol, plan: plan, faults: faultPlan,
 		clients: *clients, nfsd: *nfsd,
+		window: sim.Duration(*window), addr: *addr,
 	}
 	return a.profiled(*cpuProfile, *memProfile, func() int {
 		return a.recovered(func() int {
@@ -264,6 +267,10 @@ type cmdOpts struct {
 	// server worker-slot count (0 selects the defaults).
 	clients int
 	nfsd    int
+	// window is the timeseries/serve sampler window width; addr the
+	// serve listen address.
+	window sim.Duration
+	addr   string
 }
 
 // dispatch routes a parsed command line to its subcommand.
@@ -273,17 +280,17 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 	procs, format := o.procs, o.format
 	if o.faults != nil {
 		switch rest[0] {
-		case "scale", "trace", "metrics", "profile":
+		case "scale", "trace", "metrics", "profile", "timeseries":
 		default:
-			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only scale, trace, metrics and profile take it; see the faults command)\n", rest[0])
+			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only scale, trace, metrics, profile and timeseries take it; see the faults command)\n", rest[0])
 			return 2
 		}
 	}
 	if cfg.Memo != nil {
 		switch rest[0] {
-		case "run", "csv", "svg", "experiments", "html":
+		case "run", "csv", "svg", "experiments", "html", "serve":
 		default:
-			fmt.Fprintf(a.Stderr, "pentiumbench: -memo does not apply to %q (only run, csv, svg, experiments and html take it)\n", rest[0])
+			fmt.Fprintf(a.Stderr, "pentiumbench: -memo does not apply to %q (only run, csv, svg, experiments, html and serve take it)\n", rest[0])
 			return 2
 		}
 	}
@@ -323,6 +330,12 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 		return a.trace(cfg, runner, rest[1:], a.probeOpts(o), format, o.top)
 	case "metrics":
 		return a.metrics(cfg, runner, rest[1:], a.probeOpts(o))
+	case "timeseries":
+		opts := a.probeOpts(o)
+		opts.Window = o.window
+		return a.timeseries(cfg, runner, rest[1:], opts, format, outDir)
+	case "serve":
+		return a.serve(cfg, runner, o)
 	case "profile":
 		return a.profileCmd(cfg, runner, rest[1:], a.probeOpts(o), format, o.top, o.out)
 	case "faults":
@@ -436,6 +449,22 @@ commands:
   metrics <ids|all>  per-phase cycle-attribution tables for the probes:
                   where each run's modelled time went (phases sum to the
                   total); -procs sets the F1 process count
+  timeseries <ids|all>  sample the instrumented probes (F1, F12, S1, S2)
+                  into fixed-width virtual-time windows (-window, default
+                  100ms): queue depths, busy fractions, drops and
+                  windowed p50/p99 over time. -format=csv (default) emits
+                  the long format, -format=json full snapshots,
+                  -format=svg small-multiple timelines into -out;
+                  -faults injects a fault plan, and output is
+                  byte-identical at any -j
+  serve           long-running HTTP observability server (-addr, default
+                  127.0.0.1:8080): /api/experiments, /api/metrics/<id>
+                  (Prometheus text), /api/timeseries/<id>,
+                  /api/trace/<id> (Chrome JSON), /api/profile/<id>
+                  (?format=folded|pprof), /api/baseline/diff. Responses
+                  carry SHA-256 content-hash ETags (If-None-Match → 304)
+                  and are memoised; -memo persists results across
+                  restarts
   profile <ids|all>  fold the probes' span streams into a virtual-time
                   profile (exact, deterministic — no sampling):
                   -format=top (default) prints flat/cum tables per track,
@@ -902,6 +931,18 @@ func (a *App) metrics(cfg core.Config, runner *core.Runner, ids []string, opts c
 			for _, c := range counters {
 				fmt.Fprintf(a.Stdout, "    %-32s %14.0f\n", c.Name, c.Value)
 			}
+		}
+	}
+	// Capture-fidelity footer: a non-zero drop count means the span
+	// recorder's ring wrapped and the tables above were built from an
+	// incomplete trace.
+	for _, c := range suite.Metrics.Counters {
+		if c.Name == "runner.obs_dropped" {
+			fmt.Fprintf(a.Stdout, "\nrecorder: %.0f trace events dropped", c.Value)
+			if c.Value == 0 {
+				fmt.Fprint(a.Stdout, " (capture complete)")
+			}
+			fmt.Fprintln(a.Stdout)
 		}
 	}
 	return 0

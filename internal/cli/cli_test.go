@@ -595,3 +595,15 @@ func TestTraceProcsFlag(t *testing.T) {
 		t.Fatalf("error should mention -procs: %s", errb.String())
 	}
 }
+
+func TestMetricsFooterReportsRecorderDrops(t *testing.T) {
+	// The footer surfaces obs.Recorder ring drops so a truncated capture
+	// is never mistaken for a complete one.
+	a, out, errb, _ := testApp()
+	if code := a.Execute([]string{"metrics", "F12"}); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "trace events dropped") {
+		t.Fatalf("metrics footer missing drop count:\n%s", out.String())
+	}
+}

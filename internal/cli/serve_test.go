@@ -1,0 +1,278 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// serveFixture builds the HTTP handler under test: small client
+// population so the S probes stay cheap, in-memory baseline file.
+func serveFixture(t *testing.T, files map[string][]byte) *httptest.Server {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	opts := cmdOpts{
+		baseline: "base.json",
+		window:   sim.Duration(100 * time.Millisecond),
+		clients:  2000,
+	}
+	readFile := func(path string) ([]byte, error) {
+		if b, ok := files[path]; ok {
+			return b, nil
+		}
+		return nil, fmt.Errorf("no file %s", path)
+	}
+	srv := httptest.NewServer(newServeHandler(cfg, core.NewRunner(1), opts, readFile))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestServeExperimentsEndpoint(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, body := get(t, srv.URL+"/api/experiments", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var list []struct {
+		ID      string `json:"id"`
+		Title   string `json:"title"`
+		Sampled bool   `json:"sampled"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("experiments is not JSON: %v", err)
+	}
+	found := false
+	for _, e := range list {
+		if e.ID == "S1" {
+			found = true
+			if !e.Sampled {
+				t.Error("S1 should be sampled")
+			}
+			if e.Title == "" {
+				t.Error("S1 title missing")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("S1 missing from experiments: %s", body)
+	}
+}
+
+func TestServeMetricsPrometheusWithETag(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, body := get(t, srv.URL+"/api/metrics/F1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	text := string(body)
+	if !strings.Contains(text, "pentiumbench_") || !strings.Contains(text, `experiment="F1"`) {
+		t.Fatalf("not Prometheus exposition:\n%.300s", text)
+	}
+	if strings.Contains(text, "pentiumbench_runner_") {
+		t.Error("runner self-metrics must be excluded (nondeterministic ETag)")
+	}
+	// Every sample line must scan as name{labels} value, and every name
+	// must stay within the Prometheus metric-name grammar.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		brace := strings.Index(line, "{")
+		if brace < 1 || !strings.Contains(line, `"} `) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		for _, r := range line[:brace] {
+			ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') ||
+				(r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+			if !ok {
+				t.Fatalf("metric name %q has illegal rune %q", line[:brace], r)
+			}
+		}
+	}
+	etag := resp.Header.Get("ETag")
+	if !strings.HasPrefix(etag, `"sha256-`) {
+		t.Fatalf("ETag = %q, want sha256 content hash", etag)
+	}
+
+	// A matching If-None-Match must turn into an empty 304.
+	resp2, body2 := get(t, srv.URL+"/api/metrics/F1", map[string]string{"If-None-Match": etag})
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", resp2.StatusCode)
+	}
+	if len(body2) != 0 {
+		t.Fatalf("304 carried a body: %q", body2)
+	}
+
+	// A stale tag must get the full response again, same hash.
+	resp3, _ := get(t, srv.URL+"/api/metrics/F1", map[string]string{"If-None-Match": `"sha256-stale"`})
+	if resp3.StatusCode != http.StatusOK || resp3.Header.Get("ETag") != etag {
+		t.Fatalf("stale revalidation: status %d etag %q", resp3.StatusCode, resp3.Header.Get("ETag"))
+	}
+}
+
+func TestServeTimeseriesEndpoint(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, body := get(t, srv.URL+"/api/timeseries/F1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var runs []struct {
+		Experiment string `json:"experiment"`
+		System     string `json:"system"`
+		Series     struct {
+			WidthNs int64 `json:"width_ns"`
+			Windows int   `json:"windows"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &runs); err != nil {
+		t.Fatalf("timeseries is not JSON: %v", err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no sampled runs")
+	}
+	for _, r := range runs {
+		if r.Experiment != "F1" || r.Series.Windows <= 0 || r.Series.WidthNs <= 0 {
+			t.Fatalf("bad run %+v", r)
+		}
+	}
+
+	// An observable-but-unsampled id is a 404, not an empty series.
+	resp2, _ := get(t, srv.URL+"/api/timeseries/T2", nil)
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unsampled id status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestServeTraceAndProfileEndpoints(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, body := get(t, srv.URL+"/api/trace/F12", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(body, &events); err != nil || len(events) == 0 {
+		t.Fatalf("trace is not a chrome event array (%d events): %v", len(events), err)
+	}
+
+	resp, body = get(t, srv.URL+"/api/profile/F12", nil)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("folded profile: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if !strings.Contains(string(body), ";") {
+		t.Fatalf("folded stacks missing frame separators:\n%.200s", body)
+	}
+
+	resp, body = get(t, srv.URL+"/api/profile/F12?format=pprof", nil)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof profile: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	resp, _ = get(t, srv.URL+"/api/profile/F12?format=yaml", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServeBaselineDiff(t *testing.T) {
+	// Record a baseline from the same deterministic engine the server
+	// will re-run: the diff must come back clean.
+	cfg := core.DefaultConfig()
+	suite, err := core.NewRunner(1).Observe(cfg, []string{"F1"}, core.ObserveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := baseline.FromSuite([]string{"F1"}, cfg.Seed, suite).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serveFixture(t, map[string][]byte{"base.json": data})
+	resp, body := get(t, srv.URL+"/api/baseline/diff", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var diff struct {
+		OK         bool   `json:"ok"`
+		Compared   int    `json:"compared"`
+		Seed       uint64 `json:"seed"`
+		Violations []baseline.Violation
+	}
+	if err := json.Unmarshal(body, &diff); err != nil {
+		t.Fatalf("diff is not JSON: %v", err)
+	}
+	if !diff.OK || diff.Compared == 0 {
+		t.Fatalf("self-diff should be clean: %+v", diff)
+	}
+}
+
+func TestServeBaselineDiffMissingFile(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, body := get(t, srv.URL+"/api/baseline/diff", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("error body malformed: %s", body)
+	}
+}
+
+func TestServeUnknownExperiment(t *testing.T) {
+	srv := serveFixture(t, nil)
+	for _, path := range []string{"/api/metrics/F99", "/api/metrics/", "/api/trace/F1/extra"} {
+		resp, body := get(t, srv.URL+path, nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status = %d, want 404: %s", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestServeMethodNotAllowed(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, err := http.Post(srv.URL+"/api/experiments", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServeCommandBadAddr(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"-addr", "256.256.256.256:0", "serve"}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if errb.Len() == 0 {
+		t.Fatal("listen error not reported")
+	}
+}

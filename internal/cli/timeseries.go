@@ -1,0 +1,133 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// timeseries runs the sampled observability probes and emits their
+// virtual-time series: -format=csv (default) a long-format table,
+// -format=json the full snapshots (windowed histogram quantiles
+// included), -format=svg one small-multiple timeline figure per
+// experiment into -out. The output is deterministic: virtual-time
+// windows, per-run samplers, input-order merging — byte-identical at
+// any -j.
+func (a *App) timeseries(cfg core.Config, runner *core.Runner, ids []string,
+	opts core.ObserveOpts, format, outDir string) int {
+	sampled := core.SampledIDs()
+	if len(ids) == 0 {
+		fmt.Fprintf(a.Stderr, "pentiumbench: timeseries needs experiment ids or 'all' (sampled: %v)\n", sampled)
+		return 2
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = sampled
+	}
+	for _, id := range ids {
+		if !slices.Contains(sampled, id) {
+			fmt.Fprintf(a.Stderr, "pentiumbench: %q has no time-series instrumentation (sampled: %v)\n", id, sampled)
+			return 2
+		}
+	}
+	if opts.Window <= 0 {
+		fmt.Fprintln(a.Stderr, "pentiumbench: -window must be a positive duration")
+		return 2
+	}
+	suite, err := runner.Observe(cfg, ids, opts)
+	if err != nil {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+		return 2
+	}
+	switch format {
+	case "csv", "":
+		a.timeseriesCSV(suite)
+	case "json":
+		return a.timeseriesJSON(suite)
+	case "svg":
+		return a.timeseriesSVG(suite, outDir)
+	default:
+		fmt.Fprintf(a.Stderr, "pentiumbench: unknown timeseries format %q (want csv, json or svg)\n", format)
+		return 2
+	}
+	return 0
+}
+
+// timeseriesCSV emits the long format: one row per (experiment, system,
+// series, window), t_ns the window's virtual start time.
+func (a *App) timeseriesCSV(suite *core.SuiteObservation) {
+	fmt.Fprintln(a.Stdout, "experiment,system,series,t_ns,value")
+	for _, o := range suite.Observations {
+		for _, run := range o.Runs {
+			if run.Series == nil {
+				continue
+			}
+			for _, s := range run.Series.Flatten() {
+				for w, v := range s.Values {
+					fmt.Fprintf(a.Stdout, "%s,%s,%s,%d,%d\n",
+						o.ID, run.Label, s.Name, int64(w)*run.Series.WidthNs, v)
+				}
+			}
+		}
+	}
+}
+
+// timeseriesJSON emits one object per sampled run, with the full
+// snapshot (counters, gauges, windowed histogram summaries).
+func (a *App) timeseriesJSON(suite *core.SuiteObservation) int {
+	type runSeries struct {
+		Experiment string          `json:"experiment"`
+		System     string          `json:"system"`
+		Series     *obs.TimeSeries `json:"series"`
+	}
+	out := []runSeries{}
+	for _, o := range suite.Observations {
+		for _, run := range o.Runs {
+			if run.Series == nil {
+				continue
+			}
+			out = append(out, runSeries{o.ID, run.Label, run.Series})
+		}
+	}
+	enc := json.NewEncoder(a.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+		return 1
+	}
+	return 0
+}
+
+// timeseriesSVG writes one timeline figure per experiment into dir.
+func (a *App) timeseriesSVG(suite *core.SuiteObservation, dir string) int {
+	if err := a.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+		return 1
+	}
+	for _, o := range suite.Observations {
+		var runs []report.TimelineRun
+		for _, run := range o.Runs {
+			if run.Series == nil {
+				continue
+			}
+			runs = append(runs, report.TimelineRun{
+				Label:   run.Label,
+				WidthNs: run.Series.WidthNs,
+				Series:  run.Series.Flatten(),
+			})
+		}
+		path := fmt.Sprintf("%s/timeline-%s.svg", dir, o.ID)
+		f, err := a.CreateFile(path)
+		if err != nil {
+			fmt.Fprintln(a.Stderr, "pentiumbench:", err)
+			return 1
+		}
+		report.Timeline(f, o.ID, o.Title, runs)
+		f.Close()
+		fmt.Fprintln(a.Stdout, "wrote", path)
+	}
+	return 0
+}

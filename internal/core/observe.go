@@ -46,6 +46,10 @@ type ObservedRun struct {
 	// (virtual nanoseconds; DESIGN.md §10). Folding happens inside the
 	// probe task, so parallel suites profile in parallel too.
 	Profile *profile.Profile
+	// Series is the run's virtual-time time-series snapshot, present
+	// only when ObserveOpts.Window enabled sampling and the probe has
+	// sampled instrumentation (see SampledIDs).
+	Series *obs.TimeSeries
 }
 
 // Observation is the observability product of one experiment probe.
@@ -74,6 +78,12 @@ type ObserveOpts struct {
 	// run forks its own injector RNG from the seed, so results are
 	// bit-identical at every worker count. Nil runs clean.
 	Faults *fault.Plan
+	// Window, when positive, attaches a virtual-time time-series
+	// sampler of that window width to the probes in SampledIDs; each
+	// sampled run's ObservedRun.Series carries the snapshot. Zero (the
+	// default) samples nothing and the probes are byte-identical to
+	// builds without the sampler.
+	Window sim.Duration
 }
 
 func (o ObserveOpts) withDefaults() ObserveOpts {
@@ -125,6 +135,14 @@ func ObservableIDs() []string {
 		out[j] = ids[k&(1<<32-1)]
 	}
 	return out
+}
+
+// SampledIDs returns the observable experiments whose probes carry
+// time-series instrumentation: the kernel scheduler (F1), the benchmark
+// disk (F12), and the NFS scale-out server (S1, S2). The other probes'
+// models have no windowed series to report.
+func SampledIDs() []string {
+	return []string{"F1", "F12", "S1", "S2"}
 }
 
 // FaultableIDs returns the observable experiments whose probes consult
@@ -212,8 +230,11 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 		}
 	case "F1":
 		for _, p := range profiles {
-			_, o := bench.CtxObserved(plat, p, opts.Procs, bench.CtxRing)
-			out.Runs = append(out.Runs, benchRun(p.String(), o, "kernel.phase_us.", ""))
+			smp := samplerFor(opts)
+			_, o := bench.CtxSampled(plat, p, opts.Procs, bench.CtxRing, smp)
+			run := benchRun(p.String(), o, "kernel.phase_us.", "")
+			run.Series = seriesOf(smp, o.Total)
+			out.Runs = append(out.Runs, run)
 		}
 	case "T4":
 		for _, p := range profiles {
@@ -237,8 +258,11 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 		}
 	case "F12":
 		for _, p := range profiles {
-			_, o := bench.CrtdelObserved(plat, p, opts.FileBytes, cfg.Seed, injFor(cfg, opts, id, p))
-			out.Runs = append(out.Runs, benchRun(p.String(), o, "fs.phase_us.", ""))
+			smp := samplerFor(opts)
+			_, o := bench.CrtdelSampled(plat, p, opts.FileBytes, cfg.Seed, injFor(cfg, opts, id, p), smp)
+			run := benchRun(p.String(), o, "fs.phase_us.", "")
+			run.Series = seriesOf(smp, o.Total)
+			out.Runs = append(out.Runs, run)
 		}
 	case "F13":
 		for _, p := range profiles {
@@ -260,6 +284,8 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 			})
 			rec := obs.NewRing(srv.Clock(), bench.TraceRingCap)
 			srv.SetRecorder(rec)
+			smp := samplerFor(opts)
+			srv.SetSampler(smp)
 			res := srv.Run()
 			reg := obs.NewRegistry()
 			res.FoldMetrics(reg, "scale.")
@@ -283,6 +309,7 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 				Total:   led.Sum().Microseconds(),
 				Process: rec.Capture(fmt.Sprintf("%s %s", id, p)),
 				Metrics: snap,
+				Series:  seriesOf(smp, res.Elapsed),
 			})
 		}
 	default:
@@ -290,6 +317,25 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 	}
 	out.foldProfiles()
 	return out, nil
+}
+
+// samplerFor builds one probe run's time-series sampler, or nil when
+// sampling is off — the nil threads through every model as inert
+// handles, so the disabled path is byte-identical to builds without it.
+func samplerFor(opts ObserveOpts) *obs.Sampler {
+	if opts.Window <= 0 {
+		return nil
+	}
+	return obs.NewSampler(opts.Window)
+}
+
+// seriesOf snapshots a run's sampler at its end time; nil in, nil out.
+func seriesOf(smp *obs.Sampler, end sim.Duration) *obs.TimeSeries {
+	if smp == nil {
+		return nil
+	}
+	ts := smp.Snapshot(sim.Time(end))
+	return &ts
 }
 
 // injFor builds the fault injectors for one (experiment, personality)
@@ -415,6 +461,15 @@ func (r *Runner) Observe(cfg Config, ids []string, opts ObserveOpts) (*SuiteObse
 	st := &RunStats{Workers: w, Jobs: len(ids), Wall: time.Since(start), Experiments: timings}
 	reg := obs.NewRegistry()
 	st.FoldMetrics(reg, "runner.")
+	// Ring-bound trace truncation, summed across every captured process,
+	// so dropped events are visible outside `trace -format=text`. Under
+	// "runner." like the other self-metrics: the value is deterministic,
+	// but it describes the capture, not the models.
+	dropped := 0
+	for _, pr := range suite.Processes {
+		dropped += pr.Dropped
+	}
+	reg.Counter("runner.obs_dropped").Add(float64(dropped))
 	suite.Metrics = obs.MergeSnapshots(merged, reg.Snapshot())
 	return suite, nil
 }

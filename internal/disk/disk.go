@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -104,6 +105,14 @@ type Disk struct {
 
 	blocksPerCyl int64
 	totalBlocks  int64
+
+	// Time-series handles, nil unless Sample attached them. The disk has
+	// no clock of its own — the attached clock timestamps the windows.
+	clk      *sim.Clock
+	tsOps    *obs.SeriesCounter
+	tsBusy   *obs.SeriesCounter
+	tsFault  *obs.SeriesCounter
+	tsFaultN *obs.SeriesCounter
 }
 
 // New builds a disk with the given geometry. The RNG supplies rotational
@@ -142,6 +151,25 @@ func MustNew(geom Geometry, rng *sim.RNG) *Disk {
 // zero time without touching any RNG, so unfaulted runs are byte-identical
 // to builds without the fault layer.
 func (d *Disk) SetFaults(inj *fault.DiskInjector) { d.inj = inj }
+
+// Sample attaches a virtual-time time-series sampler, timestamping each
+// observation off the given clock (the caller's wheel clock — the disk
+// keeps no time of its own). Per window it records operation count
+// (disk.ops), total mechanical time (disk.busy_ns — busy over window
+// width is utilization), and injected fault time and event count
+// (disk.fault_extra_ns, fault.disk_events). Nil detaches; the unsampled
+// path pays one nil check per access.
+func (d *Disk) Sample(clk *sim.Clock, smp *obs.Sampler) {
+	if clk == nil || smp == nil {
+		d.clk, d.tsOps, d.tsBusy, d.tsFault, d.tsFaultN = nil, nil, nil, nil, nil
+		return
+	}
+	d.clk = clk
+	d.tsOps = smp.Counter("disk.ops")
+	d.tsBusy = smp.Counter("disk.busy_ns")
+	d.tsFault = smp.Counter("disk.fault_extra_ns")
+	d.tsFaultN = smp.Counter("fault.disk_events")
+}
 
 // Geometry returns the drive's description.
 func (d *Disk) Geometry() Geometry { return d.geom }
@@ -214,7 +242,17 @@ func (d *Disk) Access(block int64, nbytes int, write bool) sim.Duration {
 	// Injected faults (latency spikes, slow-sector remaps, transient
 	// retries) ride the same return path, so the caller's phase ledger
 	// charges them exactly where the mechanical time already goes.
-	t += d.inj.AccessExtra(d.rotation(), d.geom.AvgSeek, d.geom.ControllerOverhead)
+	extra := d.inj.AccessExtra(d.rotation(), d.geom.AvgSeek, d.geom.ControllerOverhead)
+	t += extra
+	if d.tsOps != nil {
+		now := d.clk.Now()
+		d.tsOps.Inc(now)
+		d.tsBusy.Add(now, int64(t))
+		if extra > 0 {
+			d.tsFault.Add(now, int64(extra))
+			d.tsFaultN.Inc(now)
+		}
+	}
 
 	d.headCyl = cyl
 	d.nextBlock = block + int64((nbytes+BlockSize-1)/BlockSize)
@@ -235,6 +273,11 @@ func (d *Disk) StreamTransferTime(nbytes int) sim.Duration {
 	d.stats.TotalOperations++
 	xfer := sim.Duration(float64(nbytes) / (d.geom.TransferMBs * 1e6) * float64(sim.Second))
 	d.stats.TransferTime += xfer
+	if d.tsOps != nil {
+		now := d.clk.Now()
+		d.tsOps.Inc(now)
+		d.tsBusy.Add(now, int64(xfer))
+	}
 	return xfer
 }
 

@@ -117,6 +117,12 @@ type Machine struct {
 	// obs integration (see Observe).
 	rec         *obs.Recorder
 	kernelTrack obs.TrackID
+
+	// Time-series handles, nil unless SetSampler attached them. The
+	// runnable gauge walks the process table, so it is only sampled when
+	// a sampler is live — the unsampled path pays one nil check.
+	tsSwitch   *obs.SeriesCounter
+	tsRunnable *obs.SeriesGauge
 }
 
 // NewMachine builds a machine running the given OS personality. The RNG
@@ -195,6 +201,35 @@ func (m *Machine) FoldMetrics(reg *obs.Registry, prefix string) {
 	}
 }
 
+// SetSampler attaches a virtual-time time-series sampler: per window it
+// records context switches (kernel.switches) and samples the count of
+// runnable-or-running processes (kernel.runnable) at every ready/dispatch
+// transition. Nil detaches; per-window kernel.switches sums equal
+// Switches() exactly.
+func (m *Machine) SetSampler(smp *obs.Sampler) {
+	if smp == nil {
+		m.tsSwitch, m.tsRunnable = nil, nil
+		return
+	}
+	m.tsSwitch = smp.Counter("kernel.switches")
+	m.tsRunnable = smp.Gauge("kernel.runnable")
+}
+
+// sampleRunnable records the current runnable-or-running process count.
+// The O(procs) walk only happens with a sampler attached.
+func (m *Machine) sampleRunnable() {
+	if m.tsRunnable == nil {
+		return
+	}
+	n := 0
+	for _, p := range m.procs {
+		if p.state == procRunnable || p.state == procRunning {
+			n++
+		}
+	}
+	m.tsRunnable.Set(m.clock.Now(), int64(n))
+}
+
 // charge advances the virtual clock, attributing the time to the kernel
 // and to one ledger phase.
 func (m *Machine) charge(ph Phase, d sim.Duration) {
@@ -238,6 +273,7 @@ func (m *Machine) dispatchNext() *Proc {
 		next, cost := m.sched.pick()
 		if next == nil {
 			m.current = nil
+			m.sampleRunnable()
 			return nil
 		}
 		if next.state != procRunnable {
@@ -247,6 +283,7 @@ func (m *Machine) dispatchNext() *Proc {
 			d := m.switchCost(cost)
 			m.chargeSpan(m.kernelTrack, "dispatch", PhaseDispatch, d)
 			m.switches++
+			m.tsSwitch.Inc(m.clock.Now())
 			if m.observing() {
 				m.trace("dispatch", next.pid, "%s (cost %v, scanned %d, miss %v)",
 					next.name, d, cost.scanned, cost.tableMiss)
@@ -255,6 +292,7 @@ func (m *Machine) dispatchNext() *Proc {
 		m.lastRun = next
 		m.current = next
 		next.state = procRunning
+		m.sampleRunnable()
 		if m.rec != nil {
 			m.rec.Begin(next.track, "run")
 		}
@@ -423,6 +461,7 @@ func (m *Machine) ready(p *Proc) {
 	}
 	p.state = procRunnable
 	m.sched.enqueue(p)
+	m.sampleRunnable()
 }
 
 // lruTable is the Solaris dispatch-resource model used by

@@ -312,6 +312,23 @@ type Server struct {
 
 	rec *obs.Recorder
 
+	// Time-series handles, all nil when no sampler is attached — each
+	// record below is then a nil-receiver no-op, so the unsampled hot
+	// path pays one predictable branch and zero allocations.
+	smp        *obs.Sampler
+	tsArrivals *obs.SeriesCounter
+	tsDone     *obs.SeriesCounter
+	tsDrops    *obs.SeriesCounter
+	tsRetrans  *obs.SeriesCounter
+	tsShed     *obs.SeriesCounter
+	tsBusy     *obs.SeriesCounter
+	tsFaults   *obs.SeriesCounter
+	tsDiskNs   *obs.SeriesCounter
+	tsQueue    *obs.SeriesGauge
+	tsSlots    *obs.SeriesGauge
+	tsBacklog  *obs.SeriesGauge
+	tsLat      *obs.SeriesHist
+
 	res Result
 }
 
@@ -434,6 +451,29 @@ func (s *Server) SetRecorder(rec *obs.Recorder) {
 	}
 }
 
+// SetSampler attaches a virtual-time time-series sampler before Run.
+// Nil is fine and costs nothing: every handle stays nil and each record
+// in the hot path is a nil-receiver no-op. The sampled series reconcile
+// exactly with the end-of-run Result: per-window sums of nfs.completed,
+// nfs.queue_drops, nfs.retransmits, nfs.shed, and nfs.busy_ns equal
+// Completed, QueueDrops, Retransmits, Shed, and Busy, and nfs.latency's
+// window counts and sums equal Hist.Count()/Hist.Sum().
+func (s *Server) SetSampler(smp *obs.Sampler) {
+	s.smp = smp
+	s.tsArrivals = smp.Counter("nfs.arrivals")
+	s.tsDone = smp.Counter("nfs.completed")
+	s.tsDrops = smp.Counter("nfs.queue_drops")
+	s.tsRetrans = smp.Counter("nfs.retransmits")
+	s.tsShed = smp.Counter("nfs.shed")
+	s.tsBusy = smp.Counter("nfs.busy_ns")
+	s.tsFaults = smp.Counter("fault.rpc_drops")
+	s.tsDiskNs = smp.Counter("disk.busy_ns")
+	s.tsQueue = smp.Gauge("nfs.queue_depth")
+	s.tsSlots = smp.Gauge("nfs.busy_slots")
+	s.tsBacklog = smp.Gauge("disk.backlog_ns")
+	s.tsLat = smp.Hist("nfs.latency_ns")
+}
+
 // Run executes the model to its TargetOps or AttemptBudget bound and
 // returns the result. Run consumes the Server; call once.
 func (s *Server) Run() *Result {
@@ -504,6 +544,7 @@ func (s *Server) arrive() {
 	s.rqRTO[r] = 0
 	s.res.Arrivals++
 	s.clIssued[s.pendClient]++
+	s.tsArrivals.Inc(s.w.Now())
 	s.ingress(r)
 	s.scheduleNextArrival()
 }
@@ -518,11 +559,14 @@ func (s *Server) ingress(r int32) {
 	if s.cfg.Faults.DropRPC() {
 		s.clRetrans[s.rqClient[r]]++
 		s.res.Retransmits++
+		s.tsRetrans.Inc(s.w.Now())
+		s.tsFaults.Inc(s.w.Now())
 		s.requeue(r)
 		return
 	}
 	if s.qLen == len(s.q) {
 		s.res.QueueDrops++
+		s.tsDrops.Inc(s.w.Now())
 		s.requeue(r)
 		return
 	}
@@ -540,6 +584,7 @@ func (s *Server) ingress(r int32) {
 	}
 	s.q[tail] = r
 	s.qLen++
+	s.tsQueue.Set(sim.Time(now), int64(s.qLen))
 }
 
 // requeue schedules a dropped send's retransmit through its backoff
@@ -549,6 +594,7 @@ func (s *Server) requeue(r int32) {
 	sends := int(s.rqSends[r])
 	if sends >= maxSendsPerOp {
 		s.res.Shed++
+		s.tsShed.Inc(s.w.Now())
 		s.freeReq(r)
 		return
 	}
@@ -568,6 +614,7 @@ func (s *Server) requeue(r int32) {
 	rg := &s.rings[tier]
 	if rg.n == retryRingCap {
 		s.res.Shed++
+		s.tsShed.Inc(s.w.Now())
 		s.freeReq(r)
 		return
 	}
@@ -605,6 +652,7 @@ func (s *Server) ringPop(tier int) {
 	}
 	if s.attempts >= uint64(s.cfg.AttemptBudget) {
 		s.res.Shed++
+		s.tsShed.Inc(s.w.Now())
 		s.freeReq(r)
 		return
 	}
@@ -640,11 +688,14 @@ func (s *Server) dispatch(slot, r int32) {
 		dw = ds - t
 		dt = diskOps * s.diskAccess
 		s.diskFreeAt = ds + dt
+		s.tsDiskNs.Add(sim.Time(now), dt)
+		s.tsBacklog.Set(sim.Time(now), s.diskFreeAt-now)
 	}
 	s.rqStart[r] = now
 	s.rqDiskWait[r] = dw
 	s.rqDiskTime[r] = dt
 	s.slotReq[slot] = r
+	s.tsSlots.Set(sim.Time(now), int64(s.cfg.Nfsd-len(s.idle)))
 	if s.rec != nil {
 		s.rec.BeginAt(sim.Time(now), s.slotTrack[slot], classNames[class])
 	}
@@ -672,6 +723,9 @@ func (s *Server) complete(slot int32) {
 	led.DiskTime += sim.Duration(s.rqDiskTime[r])
 	s.res.Busy += sim.Duration(now - s.rqStart[r])
 	s.endAt = now
+	s.tsDone.Inc(sim.Time(now))
+	s.tsBusy.Add(sim.Time(now), now-s.rqStart[r])
+	s.tsLat.Observe(sim.Time(now), lat)
 	if s.rec != nil {
 		s.rec.EndAt(sim.Time(now), s.slotTrack[slot], classNames[class],
 			float64(lat)/float64(sim.Microsecond))
@@ -688,9 +742,11 @@ func (s *Server) complete(slot int32) {
 			s.qHead = 0
 		}
 		s.qLen--
+		s.tsQueue.Set(sim.Time(now), int64(s.qLen))
 		s.dispatch(slot, h)
 	} else {
 		s.idle = append(s.idle, slot)
+		s.tsSlots.Set(sim.Time(now), int64(s.cfg.Nfsd-len(s.idle)))
 	}
 }
 

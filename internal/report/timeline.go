@@ -1,0 +1,154 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// TimelineRun is one sampled run's contribution to a timeline figure:
+// the run label (an OS personality) and its flattened time series.
+type TimelineRun struct {
+	Label   string
+	WidthNs int64
+	Series  []obs.FlatSeries
+}
+
+// Timeline writes a small-multiple SVG of virtual-time series: one strip
+// per metric name (the union across runs), one polyline per run within
+// each strip, all sharing the x axis (window index → virtual time).
+// Output depends only on the inputs — same series, same bytes.
+func Timeline(w io.Writer, id, title string, runs []TimelineRun) {
+	const (
+		width        = 860
+		left, right  = 220, 20
+		top          = 56
+		stripH       = 56
+		stripGap     = 14
+		plotW        = width - left - right
+		fontSize     = 11
+		titleSize    = 15
+	)
+
+	// The strip list is the name-sorted union of every run's series.
+	nameSet := map[string]bool{}
+	for _, r := range runs {
+		for _, s := range r.Series {
+			nameSet[s.Name] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	windows := 0
+	for _, r := range runs {
+		for _, s := range r.Series {
+			if len(s.Values) > windows {
+				windows = len(s.Values)
+			}
+		}
+	}
+
+	height := top + len(names)*(stripH+stripGap) + 30
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" font-weight="bold">%s — %s</text>`+"\n",
+		16, 24, titleSize, xmlEscape(id), xmlEscape(title))
+
+	// Legend: one swatch per run, on the title row.
+	x := 16
+	y := 42
+	for ri, r := range runs {
+		color := svgColors[ri%len(svgColors)]
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", x, y-9, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d">%s</text>`+"\n",
+			x+14, y, fontSize, xmlEscape(r.Label))
+		x += 14 + 7*len(r.Label) + 18
+	}
+
+	if len(names) == 0 || windows == 0 {
+		fmt.Fprintln(w, `</svg>`)
+		return
+	}
+
+	for si, name := range names {
+		sy := top + si*(stripH+stripGap)
+		// Strip max across runs scales the y axis.
+		var max int64 = 1
+		for _, r := range runs {
+			for _, s := range r.Series {
+				if s.Name != name {
+					continue
+				}
+				for _, v := range s.Values {
+					if v > max {
+						max = v
+					}
+				}
+			}
+		}
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f7f7f7"/>`+"\n",
+			left, sy, plotW, stripH)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" text-anchor="end">%s</text>`+"\n",
+			left-8, sy+stripH/2+4, fontSize, xmlEscape(name))
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" fill="#888" text-anchor="end">max %d</text>`+"\n",
+			width-right, sy-2, fontSize-2, max)
+		for ri, r := range runs {
+			for _, s := range r.Series {
+				if s.Name != name || len(s.Values) == 0 {
+					continue
+				}
+				pts := make([]byte, 0, len(s.Values)*12)
+				for i, v := range s.Values {
+					px := float64(left)
+					if windows > 1 {
+						px += float64(i) / float64(windows-1) * float64(plotW)
+					}
+					py := float64(sy+stripH) - float64(v)/float64(max)*float64(stripH-4)
+					pts = append(pts, fmt.Sprintf("%s%s,%s", sep(i), trimNum(px), trimNum(py))...)
+				}
+				fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.2" points="%s"/>`+"\n",
+					svgColors[ri%len(svgColors)], pts)
+			}
+		}
+	}
+
+	// Shared x axis, in virtual time off the first run's window width.
+	axisY := top + len(names)*(stripH+stripGap) + 4
+	widthNs := int64(0)
+	if len(runs) > 0 {
+		widthNs = runs[0].WidthNs
+	}
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d">0</text>`+"\n",
+		left, axisY+12, fontSize)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" text-anchor="end">%s</text>`+"\n",
+		left+plotW, axisY+12, fontSize, xmlEscape(virtualSpan(int64(windows)*widthNs)))
+	fmt.Fprintln(w, `</svg>`)
+}
+
+func sep(i int) string {
+	if i == 0 {
+		return ""
+	}
+	return " "
+}
+
+// virtualSpan renders a virtual-ns span for the axis label.
+func virtualSpan(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2f s virtual", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2f ms virtual", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2f µs virtual", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%d ns virtual", ns)
+	}
+}

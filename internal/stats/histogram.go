@@ -55,14 +55,28 @@ func bucketOf(v int64) int {
 // bucketUpper returns the largest value mapping to bucket i (the
 // boundary Quantile reports).
 func bucketUpper(i int) int64 {
+	return bucketLower(i) + bucketWidth(i) - 1
+}
+
+// bucketLower returns the smallest value mapping to bucket i (the
+// boundary QuantileLower reports).
+func bucketLower(i int) int64 {
 	if i < histSubBuckets {
 		return int64(i)
 	}
 	t := i / histSubBuckets // >= 1; the octave offset
 	shift := uint(t - 1)
 	s := int64(i - histSubBuckets*(t-1)) // in [32, 64)
-	lower := s << shift
-	return lower + (int64(1) << shift) - 1
+	return s << shift
+}
+
+// bucketWidth returns the number of values bucket i covers: 1 in the
+// exact octave, doubling each octave after.
+func bucketWidth(i int) int64 {
+	if i < histSubBuckets {
+		return 1
+	}
+	return int64(1) << uint(i/histSubBuckets-1)
 }
 
 // Observe records one observation. Negative values clamp to zero (the
@@ -102,12 +116,43 @@ func (h *Histogram) Mean() float64 {
 // smallest observation. Q(0) is the first bucket's boundary, Q(1) the
 // last's. An empty histogram returns 0. Out-of-range q panics: a caller
 // asking for p-120 has a bug worth surfacing.
+//
+// The upper boundary is the conservative choice for latency reporting —
+// a quoted p99 is never below the true p99 — but it overstates by up to
+// one bucket width. QuantileLower returns the same bucket's lower
+// boundary; together they bracket the exact quantile:
+//
+//	QuantileLower(q) <= exact q-quantile <= Quantile(q)
+//
+// with the bracket width under 1/32 (~3.1%) of the value, and zero for
+// values below 32, which occupy exact unit buckets.
 func (h *Histogram) Quantile(q float64) int64 {
+	i := h.quantileBucket(q)
+	if i < 0 {
+		return 0
+	}
+	return bucketUpper(i)
+}
+
+// QuantileLower returns the lower boundary of the bucket holding the
+// nearest-rank observation — the optimistic end of the bracket Quantile
+// documents. An empty histogram returns 0; out-of-range q panics.
+func (h *Histogram) QuantileLower(q float64) int64 {
+	i := h.quantileBucket(q)
+	if i < 0 {
+		return 0
+	}
+	return bucketLower(i)
+}
+
+// quantileBucket finds the bucket holding the nearest-rank observation
+// for q, or -1 when the histogram is empty.
+func (h *Histogram) quantileBucket(q float64) int {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
 	}
 	if h.n == 0 {
-		return 0
+		return -1
 	}
 	// Nearest rank: k in [1, n].
 	k := uint64(q * float64(h.n))
@@ -124,11 +169,11 @@ func (h *Histogram) Quantile(q float64) int64 {
 	for i, c := range h.counts {
 		cum += c
 		if cum >= k {
-			return bucketUpper(i)
+			return i
 		}
 	}
 	// Unreachable: counts sum to n.
-	return bucketUpper(histBuckets - 1)
+	return histBuckets - 1
 }
 
 // Merge adds every bucket of o into h — exact integer addition, so

@@ -166,3 +166,73 @@ func TestHistogramQuantilePanicsOutOfRange(t *testing.T) {
 	}()
 	(&Histogram{}).Quantile(1.2)
 }
+
+// TestHistogramQuantileBracketsPinned pins the p50/p99/p999 brackets for
+// two known distributions. The constants were computed from the bucket
+// geometry once and hand-checked against the exact order statistics:
+// every exact quantile must sit inside [QuantileLower, Quantile], and a
+// geometry change that moves any boundary fails here first.
+func TestHistogramQuantileBracketsPinned(t *testing.T) {
+	uniform := func() *Histogram {
+		h := &Histogram{}
+		for v := int64(1); v <= 1000; v++ {
+			h.Observe(v)
+		}
+		return h
+	}
+	powers := func() *Histogram {
+		h := &Histogram{}
+		v := int64(1)
+		for i := 0; i < 40; i++ {
+			h.Observe(v)
+			v *= 2
+		}
+		return h
+	}
+	cases := []struct {
+		name         string
+		h            *Histogram
+		q            float64
+		exact        int64 // true nearest-rank quantile of the inputs
+		lower, upper int64
+	}{
+		{"uniform-1..1000 p50", uniform(), 0.50, 500, 496, 503},
+		{"uniform-1..1000 p99", uniform(), 0.99, 990, 976, 991},
+		{"uniform-1..1000 p999", uniform(), 0.999, 1000, 992, 1007},
+		{"powers-of-two p50", powers(), 0.50, 524288, 524288, 540671},
+		{"powers-of-two p99", powers(), 0.99, 549755813888, 549755813888, 566935683071},
+		{"powers-of-two p999", powers(), 0.999, 549755813888, 549755813888, 566935683071},
+	}
+	for _, tc := range cases {
+		lo, hi := tc.h.QuantileLower(tc.q), tc.h.Quantile(tc.q)
+		if lo != tc.lower || hi != tc.upper {
+			t.Errorf("%s: bracket [%d, %d], want [%d, %d]", tc.name, lo, hi, tc.lower, tc.upper)
+		}
+		if tc.exact < lo || tc.exact > hi {
+			t.Errorf("%s: exact quantile %d escapes bracket [%d, %d]", tc.name, tc.exact, lo, hi)
+		}
+		if w := float64(hi-lo) / float64(hi); hi >= histSubBuckets && w > 1.0/histSubBuckets {
+			t.Errorf("%s: bracket width %.4f exceeds 1/%d of the value", tc.name, w, histSubBuckets)
+		}
+	}
+}
+
+func TestHistogramQuantileLowerEdges(t *testing.T) {
+	empty := &Histogram{}
+	if got := empty.QuantileLower(0.5); got != 0 {
+		t.Fatalf("empty QuantileLower = %d, want 0", got)
+	}
+	// Exact buckets collapse the bracket to a point.
+	h := &Histogram{}
+	h.Observe(17)
+	if lo, hi := h.QuantileLower(0.5), h.Quantile(0.5); lo != 17 || hi != 17 {
+		t.Fatalf("exact-bucket bracket [%d, %d], want [17, 17]", lo, hi)
+	}
+	// QuantileLower shares Quantile's out-of-range panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuantileLower(1.5) did not panic")
+		}
+	}()
+	h.QuantileLower(1.5)
+}

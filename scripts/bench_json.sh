@@ -14,14 +14,21 @@
 # the sweep's top population (Linux personality), so the O(1)-per-op
 # server model's speed has a trajectory too.
 #
-# Invoked by `make bench-json`, which writes BENCH_pr7.json — the
+# Finally it load-tests `pentiumbench serve`: the server starts on a
+# random port with the warm memo store, then scripts/serveload drives a
+# memo-warm endpoint with concurrent clients and the achieved requests/s
+# is recorded — the rate of the HTTP + content-hash replay path, since
+# every response after the first is a cache hit.
+#
+# Invoked by `make bench-json`, which writes BENCH_pr8.json — the
 # perf-trajectory record this file format exists for.
 set -eu
 
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 runs=3
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+serve_pid=""
+trap 'if [ -n "$serve_pid" ]; then kill "$serve_pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/pentiumbench" ./cmd/pentiumbench
 
@@ -72,6 +79,31 @@ scale1m_times="[$times]"; scale1m_best=$best_ms
 scale1k_opsps=$(awk '$1 == "1000"    { print $2; exit }' "$tmp/scale1k.txt")
 scale1m_opsps=$(awk '$1 == "1000000" { print $2; exit }' "$tmp/scale1m.txt")
 
+# Serve replay throughput: random port, warm memo store, 8 concurrent
+# clients on one endpoint. serveload fails the run if any response is
+# not a 200 with the warm-up's exact ETag, so the rate can never come
+# from wrong or rolling answers.
+serve_conc=8
+serve_reqs=2000
+go build -o "$tmp/serveload" ./scripts/serveload
+"$tmp/pentiumbench" -clients 1000 -memo "$tmp/store" -addr 127.0.0.1:0 serve > "$tmp/serve.out" 2>&1 &
+serve_pid=$!
+i=0
+until grep -q '^serving on ' "$tmp/serve.out" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "bench_json: serve did not start: $(cat "$tmp/serve.out")" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+serve_url=$(sed -n 's/^serving on //p' "$tmp/serve.out")
+"$tmp/serveload" -url "$serve_url/api/metrics/S1" -c "$serve_conc" -n "$serve_reqs" > "$tmp/load.txt"
+kill "$serve_pid" 2>/dev/null || true
+serve_pid=""
+serve_ms=$(awk '/^elapsed_ms/ { print $2 }' "$tmp/load.txt")
+serve_rps=$(awk '/^rps/ { print $2 }' "$tmp/load.txt")
+
 speedup=$(awk "BEGIN { printf \"%.1f\", $cold_best / ($warm_best > 0 ? $warm_best : 1) }")
 
 cat > "$out" <<EOF
@@ -93,7 +125,12 @@ cat > "$out" <<EOF
   "scale_1k_modelled_opsps": $scale1k_opsps,
   "scale_1m_ms": $scale1m_times,
   "scale_1m_best_ms": $scale1m_best,
-  "scale_1m_modelled_opsps": $scale1m_opsps
+  "scale_1m_modelled_opsps": $scale1m_opsps,
+  "serve_endpoint": "/api/metrics/S1",
+  "serve_clients": $serve_conc,
+  "serve_requests": $serve_reqs,
+  "serve_elapsed_ms": $serve_ms,
+  "serve_rps": $serve_rps
 }
 EOF
-echo "wrote $out: cold ${cold_best}ms, fill ${fill_best}ms, warm ${warm_best}ms (${speedup}x warm speedup), scale 10^3 ${scale1k_best}ms / 10^6 ${scale1m_best}ms"
+echo "wrote $out: cold ${cold_best}ms, fill ${fill_best}ms, warm ${warm_best}ms (${speedup}x warm speedup), scale 10^3 ${scale1k_best}ms / 10^6 ${scale1m_best}ms, serve ${serve_rps} req/s"

@@ -1,0 +1,104 @@
+// Command serveload drives one pentiumbench serve endpoint with a fixed
+// number of concurrent clients and reports the achieved request rate.
+// It is the load half of the serve benchmark in scripts/bench_json.sh:
+// the server computes the response once, then every request is a cache
+// replay, so the rate measures the HTTP + content-hash path, not the
+// simulation.
+//
+// Every response must be 200 with a non-empty body and carry the same
+// ETag as the first — the server is content-addressed, so a rolling tag
+// on a warm endpoint is a correctness failure, and the load test refuses
+// to report a rate built from wrong answers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "", "endpoint to load (required)")
+	conc := flag.Int("c", 8, "concurrent clients")
+	total := flag.Int("n", 2000, "total requests across all clients")
+	flag.Parse()
+	if *url == "" || *conc < 1 || *total < 1 {
+		fmt.Fprintln(os.Stderr, "usage: serveload -url http://host:port/api/... [-c clients] [-n requests]")
+		os.Exit(2)
+	}
+
+	// One warm-up request pins the reference ETag and lets the server
+	// compute the response outside the timed window.
+	refETag, err := fetch(*url, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload: warm-up:", err)
+		os.Exit(1)
+	}
+
+	var (
+		issued int64
+		errs   atomic.Value
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for range *conc {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for atomic.AddInt64(&issued, 1) <= int64(*total) {
+				if _, err := fetch(*url, refETag); err != nil {
+					errs.Store(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := errs.Load().(error); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+
+	ms := elapsed.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	fmt.Printf("requests %d\n", *total)
+	fmt.Printf("concurrency %d\n", *conc)
+	fmt.Printf("elapsed_ms %d\n", ms)
+	fmt.Printf("rps %.1f\n", float64(*total)/(float64(ms)/1000))
+}
+
+// fetch issues one GET and enforces the contract: 200, non-empty body,
+// and (when refETag is set) a byte-identical ETag.
+func fetch(url, refETag string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: status %d: %.200s", url, resp.StatusCode, body)
+	}
+	if len(body) == 0 {
+		return "", fmt.Errorf("%s: empty body", url)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		return "", fmt.Errorf("%s: no ETag", url)
+	}
+	if refETag != "" && etag != refETag {
+		return "", fmt.Errorf("%s: ETag rolled from %s to %s on a warm endpoint", url, refETag, etag)
+	}
+	return etag, nil
+}
