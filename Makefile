@@ -25,11 +25,13 @@ short:
 # fast-path differential tests, the event-engine differential (timer wheel
 # vs reference heap in internal/sim), the memo store, the NFS server
 # scale-out model (including the 10^4-client -j1/-j8 byte-identity
-# regression), and the fault-injection layer — including the CLI
+# regression), the fault-injection layer — including the CLI
 # regression that a faulted `faults` report is byte-identical at -j 1
-# and -j 8 — under the race detector.
+# and -j 8 — the exemplar reservoirs, the queueing-law audit engine,
+# and the serve single-flight path (N concurrent cold clients, one
+# computation) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/memo/... ./internal/sim/... ./internal/fault/... ./internal/nfsserver/... ./internal/cli/...
+	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/memo/... ./internal/sim/... ./internal/fault/... ./internal/nfsserver/... ./internal/cli/... ./internal/obs/... ./internal/audit/...
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,374 @@
+// Package audit is the queueing-law audit engine (DESIGN.md §15): it
+// cross-checks a model run's reported Result against independently
+// collected evidence — occupancy area integrals, the request pool's
+// free-list, per-client counter arrays, windowed time series, and
+// exemplar lifecycles — and produces a machine-readable verdict report
+// ranked worst-first.
+//
+// The deterministic simulator makes the classical queueing identities
+// *exact*, not asymptotic: Little's law (L = λW) holds as an integer
+// area identity ∫N(t)dt == Σ residence times, the utilization law
+// (ρ = λS) as ∫busy(t)dt == total service time, and flow balance as
+// arrivals == completions + sheds + in-flight, every term in exact
+// virtual nanoseconds. A violation therefore never means "sampling
+// noise"; it means the instrumentation or the model broke conservation,
+// which is precisely what the audit exists to catch.
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nfsserver"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Check is one evaluated invariant instance. Lhs and Rhs are the two
+// sides of the identity (or the value and its bound); for exact checks
+// OK means Lhs == Rhs to the nanosecond.
+type Check struct {
+	// Invariant names the law, e.g. "little", "utilization",
+	// "flow-balance", "hist-ledger", "exemplar-phase-sum".
+	Invariant string `json:"invariant"`
+	// Scope is "run" or "window"; Window is the window index for window
+	// scope and -1 for run scope.
+	Scope  string `json:"scope"`
+	Window int    `json:"window"`
+	// Detail states the identity with its concrete values.
+	Detail string  `json:"detail"`
+	Lhs    float64 `json:"lhs"`
+	Rhs    float64 `json:"rhs"`
+	AbsErr float64 `json:"abs_err"`
+	RelErr float64 `json:"rel_err"`
+	OK     bool    `json:"ok"`
+}
+
+// Report is one run's verdict: every run-scope check (ranked
+// worst-first), every violation of any scope (ranked worst-first), and
+// the total number of checks evaluated, window instances included.
+type Report struct {
+	System     string  `json:"system"`
+	Clients    int     `json:"clients"`
+	Nfsd       int     `json:"nfsd"`
+	Evaluated  int     `json:"evaluated"`
+	Failed     int     `json:"failed"`
+	Checks     []Check `json:"checks"`
+	Violations []Check `json:"violations"`
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return r.Failed == 0 }
+
+// Input bundles one run's evidence. Series and Exemplars are optional;
+// when present they widen the audit to per-window and per-request
+// checks. ExemplarK is the reservoir bound Exemplars was built with.
+type Input struct {
+	System    string
+	Res       *nfsserver.Result
+	Facts     nfsserver.Facts
+	Series    *obs.TimeSeries
+	Exemplars []obs.ExemplarWindow
+	ExemplarK int
+}
+
+type evaluator struct {
+	rep        *Report
+	violations []Check
+	runChecks  []Check
+}
+
+// add records one evaluated check.
+func (ev *evaluator) add(c Check) {
+	ev.rep.Evaluated++
+	if !c.OK {
+		ev.rep.Failed++
+		ev.violations = append(ev.violations, c)
+	}
+	if c.Scope == "run" {
+		ev.runChecks = append(ev.runChecks, c)
+	}
+}
+
+// relErr is |l−r| over the larger magnitude (or 1 when both are ~0).
+func relErr(l, r float64) float64 {
+	d := l - r
+	if d < 0 {
+		d = -d
+	}
+	m := l
+	if m < 0 {
+		m = -m
+	}
+	if n := r; n < 0 && -n > m {
+		m = -n
+	} else if n > m {
+		m = n
+	}
+	if m < 1 {
+		m = 1
+	}
+	return d / m
+}
+
+// exact records an integer identity lhs == rhs.
+func (ev *evaluator) exact(invariant, scope string, window int, lhs, rhs int64, detail string) {
+	l, r := float64(lhs), float64(rhs)
+	ev.add(Check{Invariant: invariant, Scope: scope, Window: window,
+		Detail: detail, Lhs: l, Rhs: r,
+		AbsErr: abs(l - r), RelErr: relErr(l, r), OK: lhs == rhs})
+}
+
+// bound records an inequality lhs <= rhs; the error is the overshoot.
+func (ev *evaluator) bound(invariant, scope string, window int, lhs, rhs int64, detail string) {
+	over := lhs - rhs
+	if over < 0 {
+		over = 0
+	}
+	ev.add(Check{Invariant: invariant, Scope: scope, Window: window,
+		Detail: detail, Lhs: float64(lhs), Rhs: float64(rhs),
+		AbsErr: float64(over), RelErr: relErr(float64(lhs), float64(rhs)) * b2f(over > 0),
+		OK: over == 0})
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// rank orders checks worst-first: failures before passes, then larger
+// relative error, larger absolute error, invariant name, window.
+func rank(cs []Check) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.OK != b.OK {
+			return !a.OK
+		}
+		if a.RelErr != b.RelErr {
+			return a.RelErr > b.RelErr
+		}
+		if a.AbsErr != b.AbsErr {
+			return a.AbsErr > b.AbsErr
+		}
+		if a.Invariant != b.Invariant {
+			return a.Invariant < b.Invariant
+		}
+		return a.Window < b.Window
+	})
+}
+
+// Evaluate runs every applicable invariant over one run's evidence.
+func Evaluate(in Input) *Report {
+	res, f := in.Res, in.Facts
+	rep := &Report{System: in.System, Clients: res.Clients, Nfsd: res.Nfsd}
+	ev := &evaluator{rep: rep}
+
+	// Flow balance: every arrival is completed, shed, or still holds a
+	// pool slot; pool occupancy decomposes into queue+service and
+	// backoff rings; attempts decompose into first sends plus resends.
+	inflight := int64(f.PoolCap - f.PoolFree)
+	ev.exact("flow-balance", "run", -1,
+		int64(res.Arrivals), int64(res.Completed+res.Shed)+inflight,
+		fmt.Sprintf("arrivals %d == completed %d + shed %d + in-flight %d",
+			res.Arrivals, res.Completed, res.Shed, inflight))
+	ev.exact("flow-balance.pool", "run", -1,
+		inflight, int64(f.InSystem+f.RingPending),
+		fmt.Sprintf("pool occupancy %d == in-system %d + ring-pending %d",
+			inflight, f.InSystem, f.RingPending))
+	ev.exact("flow-balance.attempts", "run", -1,
+		int64(res.Attempts), int64(res.Arrivals+f.Resends),
+		fmt.Sprintf("attempts %d == arrivals %d + resends %d",
+			res.Attempts, res.Arrivals, f.Resends))
+
+	// Client balance: the per-client counter arrays, summed, must agree
+	// with the run counters.
+	ev.exact("client-balance.issued", "run", -1, int64(f.ClIssued), int64(res.Arrivals),
+		fmt.Sprintf("Σ per-client issued %d == arrivals %d", f.ClIssued, res.Arrivals))
+	ev.exact("client-balance.done", "run", -1, int64(f.ClDone), int64(res.Completed),
+		fmt.Sprintf("Σ per-client done %d == completed %d", f.ClDone, res.Completed))
+	ev.exact("client-balance.retrans", "run", -1, int64(f.ClRetrans), int64(res.Retransmits),
+		fmt.Sprintf("Σ per-client retrans %d == retransmits %d", f.ClRetrans, res.Retransmits))
+
+	// Little's law, exact: ∫N(t)dt over the run equals the summed
+	// residence time of completed requests plus the residual of requests
+	// still in flight. The float L = λW form is the same identity
+	// divided through by the elapsed time.
+	led := res.Ledger
+	residence := int64(led.QueueWait + led.CPU + led.DiskWait + led.DiskTime)
+	littleDetail := fmt.Sprintf("∫N dt %d ns == residence %d + residual %d ns", f.SysAreaNs, residence, f.SysResidualNs)
+	if f.AuditEndNs > 0 && res.Completed > 0 {
+		sec := float64(f.AuditEndNs) / 1e9
+		L := float64(f.SysAreaNs) / float64(f.AuditEndNs)
+		lam := float64(res.Completed) / sec
+		W := float64(residence) / float64(res.Completed) / 1e9
+		littleDetail += fmt.Sprintf(" (L %.4f, λW %.4f + residual)", L, lam*W)
+	}
+	ev.exact("little", "run", -1, f.SysAreaNs, residence+f.SysResidualNs, littleDetail)
+
+	// Utilization law, exact: ∫busy(t)dt equals the ledger's total
+	// service time plus the residual of in-service requests, and the
+	// busy time decomposes into cpu + disk wait + disk.
+	utilDetail := fmt.Sprintf("∫busy dt %d ns == busy %d + residual %d ns", f.BusyAreaNs, int64(res.Busy), f.BusyResidualNs)
+	if f.AuditEndNs > 0 && f.Nfsd > 0 {
+		rho := float64(f.BusyAreaNs) / (float64(f.AuditEndNs) * float64(f.Nfsd))
+		utilDetail += fmt.Sprintf(" (ρ %.4f)", rho)
+	}
+	ev.exact("utilization", "run", -1, f.BusyAreaNs, int64(res.Busy)+f.BusyResidualNs, utilDetail)
+	ev.exact("utilization.service", "run", -1,
+		int64(res.Busy), int64(led.CPU+led.DiskWait+led.DiskTime),
+		fmt.Sprintf("busy %d == cpu %d + disk wait %d + disk %d",
+			res.Busy, led.CPU, led.DiskWait, led.DiskTime))
+
+	// Histogram vs ledger: the latency histogram's exact sum and count
+	// must match the phase ledger and the completion counter.
+	ev.exact("hist-ledger.sum", "run", -1, res.Hist.Sum(), int64(led.Sum()),
+		fmt.Sprintf("histogram sum %d ns == ledger sum %d ns", res.Hist.Sum(), led.Sum()))
+	ev.exact("hist-ledger.count", "run", -1, int64(res.Hist.N()), int64(res.Completed),
+		fmt.Sprintf("histogram n %d == completed %d", res.Hist.N(), res.Completed))
+
+	if in.Series != nil {
+		auditSeries(ev, res, f, in.Series)
+	}
+	auditExemplars(ev, in)
+
+	rank(ev.runChecks)
+	rank(ev.violations)
+	rep.Checks = ev.runChecks
+	rep.Violations = ev.violations
+	return rep
+}
+
+// auditSeries checks the windowed time series against the run totals
+// (each counter's per-window deltas must sum exactly to its ledger
+// counter) and per window (flow balance; gauge maxima within capacity).
+func auditSeries(ev *evaluator, res *nfsserver.Result, f nfsserver.Facts, ts *obs.TimeSeries) {
+	for _, tc := range []struct {
+		name string
+		want int64
+	}{
+		{"nfs.arrivals", int64(res.Arrivals)},
+		{"nfs.completed", int64(res.Completed)},
+		{"nfs.queue_drops", int64(res.QueueDrops)},
+		{"nfs.retransmits", int64(res.Retransmits)},
+		{"nfs.shed", int64(res.Shed)},
+		{"nfs.busy_ns", int64(res.Busy)},
+		{"nfs.op_inflight", int64(f.PoolCap - f.PoolFree)},
+	} {
+		got, ok := ts.CounterTotal(tc.name)
+		if !ok {
+			continue
+		}
+		ev.exact("series-total", "run", -1, got, tc.want,
+			fmt.Sprintf("Σ windows of %s %d == result %d", tc.name, got, tc.want))
+	}
+
+	// Windowed flow balance: within every window, arrivals minus
+	// completions minus sheds equals the in-flight population change.
+	series := func(name string) []int64 {
+		for _, c := range ts.Counters {
+			if c.Name == name {
+				return c.Values
+			}
+		}
+		return nil
+	}
+	arr, done, shed, flight := series("nfs.arrivals"), series("nfs.completed"), series("nfs.shed"), series("nfs.op_inflight")
+	if arr != nil && done != nil && shed != nil && flight != nil {
+		for w := 0; w < ts.Windows; w++ {
+			lhs := arr[w] - done[w] - shed[w]
+			if lhs == flight[w] {
+				// Keep passing window checks out of the report body; they
+				// still count as evaluated.
+				ev.rep.Evaluated++
+				continue
+			}
+			ev.exact("flow-balance.window", "window", w, lhs, flight[w],
+				fmt.Sprintf("window %d: arrivals %d − completed %d − shed %d == Δin-flight %d",
+					w, arr[w], done[w], shed[w], flight[w]))
+		}
+	}
+
+	// Windowed histogram conservation: flushed windows decompose the
+	// run histogram's exact count and sum.
+	for _, h := range ts.Hists {
+		if h.Name != "nfs.latency_ns" {
+			continue
+		}
+		var n uint64
+		var sum int64
+		for _, w := range h.Windows {
+			n += w.N
+			sum += w.Sum
+		}
+		ev.exact("hist-windows.count", "run", -1, int64(n), int64(res.Hist.N()),
+			fmt.Sprintf("Σ window counts %d == histogram n %d", n, res.Hist.N()))
+		ev.exact("hist-windows.sum", "run", -1, sum, res.Hist.Sum(),
+			fmt.Sprintf("Σ window sums %d == histogram sum %d ns", sum, res.Hist.Sum()))
+	}
+
+	// Capacity bounds: the sampled queue depth never exceeds the ingress
+	// queue capacity, nor busy slots the nfsd count.
+	for _, g := range ts.Gauges {
+		var cap int64
+		var inv string
+		switch g.Name {
+		case "nfs.queue_depth":
+			cap, inv = int64(f.QueueCap), "queue-bound"
+		case "nfs.busy_slots":
+			cap, inv = int64(f.Nfsd), "slot-bound"
+		default:
+			continue
+		}
+		var worst int64
+		worstW := -1
+		for w, v := range g.Max {
+			if v > worst || worstW < 0 {
+				worst, worstW = v, w
+			}
+			if v > cap {
+				ev.bound(inv, "window", w, v, cap,
+					fmt.Sprintf("window %d: max %s %d <= capacity %d", w, g.Name, v, cap))
+			} else {
+				ev.rep.Evaluated++
+			}
+		}
+		ev.bound(inv, "run", -1, worst, cap,
+			fmt.Sprintf("max %s %d (window %d) <= capacity %d", g.Name, worst, worstW, cap))
+	}
+}
+
+// auditExemplars checks every retained exemplar: the phase sum equals
+// the recorded lifetime exactly, the attached bucket is the bucket its
+// latency lands in, and no window exceeds the reservoir bound.
+func auditExemplars(ev *evaluator, in Input) {
+	if len(in.Exemplars) == 0 {
+		return
+	}
+	for _, w := range in.Exemplars {
+		if in.ExemplarK > 0 {
+			ev.bound("exemplar-k", "window", w.Window,
+				int64(len(w.Exemplars)), int64(in.ExemplarK),
+				fmt.Sprintf("window %d retains %d exemplars <= k %d", w.Window, len(w.Exemplars), in.ExemplarK))
+		}
+		for _, e := range w.Exemplars {
+			ev.exact("exemplar-phase-sum", "window", w.Window, e.PhaseSum(), e.LatencyNs,
+				fmt.Sprintf("request %d (%s): wire %d + rto %d + queue %d + cpu %d + disk wait %d + disk %d == lifetime %d ns",
+					e.ID, e.Class, e.WireNs, e.RTONs, e.QueueNs, e.CPUNs, e.DiskWaitNs, e.DiskNs, e.LatencyNs))
+			ev.exact("exemplar-bucket", "window", w.Window,
+				int64(e.Bucket), int64(stats.BucketIndex(e.LatencyNs)),
+				fmt.Sprintf("request %d: bucket %d == BucketIndex(%d) %d",
+					e.ID, e.Bucket, e.LatencyNs, stats.BucketIndex(e.LatencyNs)))
+			ev.exact("exemplar-lifetime", "window", w.Window, e.EndNs-e.IssueNs, e.LatencyNs,
+				fmt.Sprintf("request %d: end %d − issue %d == latency %d ns", e.ID, e.EndNs, e.IssueNs, e.LatencyNs))
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package audit
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/nfsserver"
+	"repro/internal/obs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+func lossyInjector(prob float64, seed uint64) *fault.NetInjector {
+	plan := &fault.Plan{}
+	plan.Net.UDPLossProb = prob
+	return fault.New(plan, sim.NewRNG(seed)).Net
+}
+
+// runOne executes one instrumented server run and audits it.
+func runOne(t *testing.T, cfg nfsserver.Config) (*Report, Input) {
+	t.Helper()
+	s := nfsserver.New(cfg)
+	smp := obs.NewSampler(10 * sim.Millisecond)
+	s.SetSampler(smp)
+	ex := obs.NewExemplars(cfg.Seed, 4, 10*sim.Millisecond)
+	s.SetExemplars(ex)
+	res := s.Run()
+	ts := smp.Snapshot(sim.Time(res.Elapsed))
+	in := Input{System: cfg.Profile.Name, Res: res, Facts: s.Facts(),
+		Series: &ts, Exemplars: ex.Snapshot(), ExemplarK: 4}
+	return Evaluate(in), in
+}
+
+// A correct model must audit clean — every invariant exact — both on a
+// lossless run and under wire loss with drops, retransmits, and sheds.
+func TestAuditCleanRunsPass(t *testing.T) {
+	for name, cfg := range map[string]nfsserver.Config{
+		"clean": {Profile: osprofile.Linux128(), Clients: 500, Seed: 11, TargetOps: 2000},
+		"lossy": {Profile: osprofile.Solaris24(), Clients: 200000, Seed: 17,
+			TargetOps: 4000, AttemptBudget: 40000, QueueCap: 64,
+			Faults: lossyInjector(0.05, 17)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rep, _ := runOne(t, cfg)
+			if !rep.OK() {
+				j, _ := json.MarshalIndent(rep.Violations, "", "  ")
+				t.Fatalf("audit failed %d/%d checks:\n%s", rep.Failed, rep.Evaluated, j)
+			}
+			if rep.Evaluated < 20 {
+				t.Fatalf("only %d checks evaluated; series/exemplar audits missing", rep.Evaluated)
+			}
+			if len(rep.Checks) == 0 {
+				t.Fatal("no run-scope checks reported")
+			}
+			for _, c := range rep.Checks {
+				if c.Scope != "run" || c.Window != -1 {
+					t.Fatalf("run check with scope %q window %d", c.Scope, c.Window)
+				}
+			}
+		})
+	}
+}
+
+// Corrupting the evidence must be detected and ranked worst-first.
+func TestAuditDetectsCorruption(t *testing.T) {
+	cfg := nfsserver.Config{Profile: osprofile.Linux128(), Clients: 500, Seed: 11, TargetOps: 2000}
+	_, in := runOne(t, cfg)
+
+	// A small and a large corruption: completed off by one (breaks flow
+	// balance and client balance) and the system area halved (breaks
+	// Little's law badly).
+	res := *in.Res
+	res.Completed++
+	f := in.Facts
+	f.SysAreaNs /= 2
+	rep := Evaluate(Input{System: in.System, Res: &res, Facts: f,
+		Series: in.Series, Exemplars: in.Exemplars, ExemplarK: in.ExemplarK})
+	if rep.OK() {
+		t.Fatal("corrupted run audited clean")
+	}
+	byName := map[string]bool{}
+	for _, v := range rep.Violations {
+		byName[v.Invariant] = true
+	}
+	for _, want := range []string{"flow-balance", "little", "client-balance.done", "hist-ledger.count"} {
+		if !byName[want] {
+			t.Fatalf("corruption not caught by %q; violations: %v", want, byName)
+		}
+	}
+	// Worst first: the halved area (rel err ~0.5) must outrank the
+	// off-by-one counters.
+	if rep.Violations[0].Invariant != "little" {
+		t.Fatalf("worst violation is %q (rel %v), want little",
+			rep.Violations[0].Invariant, rep.Violations[0].RelErr)
+	}
+	for i := 1; i < len(rep.Violations); i++ {
+		if rep.Violations[i].RelErr > rep.Violations[i-1].RelErr {
+			t.Fatal("violations not ranked worst-first")
+		}
+	}
+}
+
+// A broken exemplar must fail the per-request checks.
+func TestAuditDetectsBrokenExemplar(t *testing.T) {
+	cfg := nfsserver.Config{Profile: osprofile.Linux128(), Clients: 500, Seed: 11, TargetOps: 2000}
+	_, in := runOne(t, cfg)
+	exs := append([]obs.ExemplarWindow(nil), in.Exemplars...)
+	if len(exs) == 0 || len(exs[0].Exemplars) == 0 {
+		t.Fatal("no exemplars to corrupt")
+	}
+	exs[0].Exemplars = append([]obs.Exemplar(nil), exs[0].Exemplars...)
+	exs[0].Exemplars[0].CPUNs += 7
+	rep := Evaluate(Input{System: in.System, Res: in.Res, Facts: in.Facts,
+		Series: in.Series, Exemplars: exs, ExemplarK: in.ExemplarK})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Invariant == "exemplar-phase-sum" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("phase-sum corruption not caught; %d violations", len(rep.Violations))
+	}
+}
+
+// The report must marshal deterministically (no map iteration).
+func TestAuditReportDeterministicJSON(t *testing.T) {
+	cfg := nfsserver.Config{Profile: osprofile.Solaris24(), Clients: 200000, Seed: 17,
+		TargetOps: 4000, AttemptBudget: 40000, QueueCap: 64,
+		Faults: lossyInjector(0.05, 17)}
+	a, _ := runOne(t, cfg)
+	cfg.Faults = lossyInjector(0.05, 17)
+	b, _ := runOne(t, cfg)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("identical runs produced different audit reports")
+	}
+}

@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAuditCommandText(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"-clients", "500", "audit", "S1"}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	s := out.String()
+	for _, want := range []string{"queueing-law audit", "verdict", "ok", "all invariants hold"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("audit output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "FAIL") {
+		t.Fatalf("clean run reported a failure:\n%s", s)
+	}
+}
+
+func TestAuditCommandJSON(t *testing.T) {
+	a, out, _, _ := testApp()
+	if code := a.Execute([]string{"-clients", "500", "-format", "json", "audit", "S2"}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	var obsv []struct {
+		ID      string
+		Reports []struct {
+			System    string `json:"system"`
+			Evaluated int    `json:"evaluated"`
+			Failed    int    `json:"failed"`
+		}
+	}
+	if err := json.Unmarshal(out.Bytes(), &obsv); err != nil {
+		t.Fatalf("audit json: %v", err)
+	}
+	if len(obsv) != 1 || obsv[0].ID != "S2" || len(obsv[0].Reports) == 0 {
+		t.Fatalf("unexpected audit json shape: %+v", obsv)
+	}
+	for _, rep := range obsv[0].Reports {
+		if rep.Failed != 0 || rep.Evaluated < 20 {
+			t.Fatalf("report %s: failed=%d evaluated=%d", rep.System, rep.Failed, rep.Evaluated)
+		}
+	}
+}
+
+func TestAuditCommandRejectsBadInput(t *testing.T) {
+	a, _, errb, _ := testApp()
+	if code := a.Execute([]string{"audit"}); code != 2 {
+		t.Fatalf("bare audit exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "auditable") {
+		t.Fatal("missing-ids error should list the auditable set")
+	}
+	a, _, errb, _ = testApp()
+	if code := a.Execute([]string{"audit", "T2"}); code != 2 {
+		t.Fatalf("audit T2 exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "not auditable") {
+		t.Fatal("unknown-id error not reported")
+	}
+	a, _, errb, _ = testApp()
+	if code := a.Execute([]string{"-format", "yaml", "audit", "S1"}); code != 2 {
+		t.Fatalf("bad format exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown audit format") {
+		t.Fatal("bad-format error not reported")
+	}
+	a, _, errb, _ = testApp()
+	if code := a.Execute([]string{"-exemplars", "-1", "audit", "S1"}); code != 2 {
+		t.Fatalf("negative -exemplars exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-exemplars") {
+		t.Fatal("negative -exemplars not rejected by range check")
+	}
+}

@@ -83,7 +83,8 @@ func (a *App) Execute(args []string) int {
 	faultsFile := fl.String("faults", "", "scale/trace/metrics/profile: inject this fault plan JSON into the probes")
 	showStats := fl.Bool("stats", false, "print runner statistics to stderr after run/csv/svg/experiments")
 	memoDir := fl.String("memo", "", "persistent result-memo directory for run/csv/svg/experiments/html/serve (a cold run fills it; an unchanged re-run is served from it)")
-	window := fl.Duration("window", 100*time.Millisecond, "timeseries/serve: virtual-time sampler window width")
+	window := fl.Duration("window", 100*time.Millisecond, "timeseries/serve/audit: virtual-time sampler window width")
+	exemplars := fl.Int("exemplars", 0, "trace/timeseries/serve/audit: exemplar reservoir size K per latency window on the S1/S2 probes (0 = off; audit defaults to 4)")
 	addr := fl.String("addr", "127.0.0.1:8080", "serve: listen address (use :0 for a random port)")
 	cpuProfile := fl.String("cpuprofile", "", "write a pprof CPU profile of the whole command to this file")
 	memProfile := fl.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
@@ -106,7 +107,7 @@ func (a *App) Execute(args []string) int {
 		remaining = remaining[1:]
 	}
 
-	if msg := flagRangeError(*runs, *workers, *procs, *trials, *topN, *clients, *nfsd, *eps, *tol); msg != "" {
+	if msg := flagRangeError(*runs, *workers, *procs, *trials, *topN, *clients, *nfsd, *exemplars, *eps, *tol); msg != "" {
 		fmt.Fprintln(a.Stderr, "pentiumbench:", msg)
 		return 2
 	}
@@ -157,7 +158,7 @@ func (a *App) Execute(args []string) int {
 		showStats: *showStats, outDir: *outDir, eps: *eps, trials: *trials,
 		procs: *procs, format: *format, top: *topN, out: *outFile,
 		baseline: *baseFile, tol: *tol, plan: plan, faults: faultPlan,
-		clients: *clients, nfsd: *nfsd,
+		clients: *clients, nfsd: *nfsd, exemplars: *exemplars,
 		window: sim.Duration(*window), addr: *addr,
 	}
 	return a.profiled(*cpuProfile, *memProfile, func() int {
@@ -170,7 +171,7 @@ func (a *App) Execute(args []string) int {
 // flagRangeError bounds-checks the numeric flags. The flag package
 // already rejects malformed syntax ("-j x"); these catch values that
 // parse but mean nothing ("-j -3", "-tol NaN") before any model runs.
-func flagRangeError(runs, workers, procs, trials, top, clients, nfsd int, eps, tol float64) string {
+func flagRangeError(runs, workers, procs, trials, top, clients, nfsd, exemplars int, eps, tol float64) string {
 	badFloat := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
 	switch {
 	case runs <= 0:
@@ -187,6 +188,8 @@ func flagRangeError(runs, workers, procs, trials, top, clients, nfsd int, eps, t
 		return fmt.Sprintf("-clients must be >= 0, 0 meaning the command default (got %d)", clients)
 	case nfsd < 0:
 		return fmt.Sprintf("-nfsd must be >= 0, 0 meaning the default 8 (got %d)", nfsd)
+	case exemplars < 0:
+		return fmt.Sprintf("-exemplars must be >= 0, 0 meaning off (got %d)", exemplars)
 	case badFloat(eps):
 		return fmt.Sprintf("-eps must be a finite non-negative number (got %v)", eps)
 	case badFloat(tol):
@@ -267,8 +270,11 @@ type cmdOpts struct {
 	// server worker-slot count (0 selects the defaults).
 	clients int
 	nfsd    int
-	// window is the timeseries/serve sampler window width; addr the
-	// serve listen address.
+	// exemplars is the per-window exemplar reservoir size K for the
+	// S1/S2 probes (0 = tracing off; audit defaults it to 4).
+	exemplars int
+	// window is the timeseries/serve/audit sampler window width; addr
+	// the serve listen address.
 	window sim.Duration
 	addr   string
 }
@@ -280,9 +286,9 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 	procs, format := o.procs, o.format
 	if o.faults != nil {
 		switch rest[0] {
-		case "scale", "trace", "metrics", "profile", "timeseries":
+		case "scale", "trace", "metrics", "profile", "timeseries", "audit":
 		default:
-			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only scale, trace, metrics, profile and timeseries take it; see the faults command)\n", rest[0])
+			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only scale, trace, metrics, profile, timeseries and audit take it; see the faults command)\n", rest[0])
 			return 2
 		}
 	}
@@ -336,6 +342,10 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 		return a.timeseries(cfg, runner, rest[1:], opts, format, outDir)
 	case "serve":
 		return a.serve(cfg, runner, o)
+	case "audit":
+		opts := a.probeOpts(o)
+		opts.Window = o.window
+		return a.audit(cfg, rest[1:], opts, format)
 	case "profile":
 		return a.profileCmd(cfg, runner, rest[1:], a.probeOpts(o), format, o.top, o.out)
 	case "faults":
@@ -363,7 +373,8 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 // the shared flag values (the faults command builds its own clean and
 // faulted pairs).
 func (a *App) probeOpts(o cmdOpts) core.ObserveOpts {
-	return core.ObserveOpts{Procs: o.procs, Clients: o.clients, Nfsd: o.nfsd, Faults: o.faults}
+	return core.ObserveOpts{Procs: o.procs, Clients: o.clients, Nfsd: o.nfsd,
+		Faults: o.faults, ExemplarK: o.exemplars}
 }
 
 // profiled runs cmd, optionally bracketed by pprof capture. The CPU
@@ -457,14 +468,26 @@ commands:
                   -format=svg small-multiple timelines into -out;
                   -faults injects a fault plan, and output is
                   byte-identical at any -j
+  audit <ids|all> re-run the NFS scale probes (S1, S2) with independent
+                  double-entry accounting attached and evaluate every
+                  queueing-law invariant: Little's law, the utilization
+                  law, flow balance, histogram-vs-ledger reconciliation,
+                  per-window conservation and per-exemplar phase sums.
+                  -format=text (default) prints a verdict table with
+                  violations ranked worst-first, -format=json the full
+                  machine-readable reports; -faults audits a faulted
+                  run, -exemplars overrides the reservoir size (default
+                  4); nonzero exit on any violation
   serve           long-running HTTP observability server (-addr, default
                   127.0.0.1:8080): /api/experiments, /api/metrics/<id>
-                  (Prometheus text), /api/timeseries/<id>,
-                  /api/trace/<id> (Chrome JSON), /api/profile/<id>
-                  (?format=folded|pprof), /api/baseline/diff. Responses
-                  carry SHA-256 content-hash ETags (If-None-Match → 304)
-                  and are memoised; -memo persists results across
-                  restarts
+                  (Prometheus text with latency le-bucket histograms),
+                  /api/timeseries/<id>, /api/trace/<id> (Chrome JSON),
+                  /api/profile/<id> (?format=folded|pprof),
+                  /api/exemplars/<id> (tail-biased request lifecycles),
+                  /api/audit/<id> (queueing-law verdicts),
+                  /api/baseline/diff. Responses carry SHA-256
+                  content-hash ETags (If-None-Match → 304) and are
+                  memoised; -memo persists results across restarts
   profile <ids|all>  fold the probes' span streams into a virtual-time
                   profile (exact, deterministic — no sampling):
                   -format=top (default) prints flat/cum tables per track,
@@ -933,17 +956,33 @@ func (a *App) metrics(cfg core.Config, runner *core.Runner, ids []string, opts c
 			}
 		}
 	}
-	// Capture-fidelity footer: a non-zero drop count means the span
-	// recorder's ring wrapped and the tables above were built from an
-	// incomplete trace.
+	// Capture-fidelity footer: a non-zero trace-drop count means the
+	// span recorder's ring wrapped and the tables above were built from
+	// an incomplete trace; the exemplar line reports reservoir evictions
+	// (expected whenever more than K requests land in a window).
+	var obsDropped, exDropped float64
+	var haveObs, haveEx bool
 	for _, c := range suite.Metrics.Counters {
-		if c.Name == "runner.obs_dropped" {
-			fmt.Fprintf(a.Stdout, "\nrecorder: %.0f trace events dropped", c.Value)
-			if c.Value == 0 {
-				fmt.Fprint(a.Stdout, " (capture complete)")
-			}
-			fmt.Fprintln(a.Stdout)
+		switch c.Name {
+		case "runner.obs_dropped":
+			obsDropped, haveObs = c.Value, true
+		case "runner.exemplars_dropped":
+			exDropped, haveEx = c.Value, true
 		}
+	}
+	if haveObs {
+		fmt.Fprintf(a.Stdout, "\nrecorder: %.0f trace events dropped", obsDropped)
+		if obsDropped == 0 {
+			fmt.Fprint(a.Stdout, " (capture complete)")
+		}
+		fmt.Fprintln(a.Stdout)
+	}
+	if haveEx {
+		fmt.Fprintf(a.Stdout, "exemplars: %.0f candidates evicted from the reservoirs", exDropped)
+		if exDropped == 0 {
+			fmt.Fprint(a.Stdout, " (every candidate kept)")
+		}
+		fmt.Fprintln(a.Stdout)
 	}
 	return 0
 }

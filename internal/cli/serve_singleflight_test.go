@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// N clients hitting the same cold endpoint concurrently must observe
+// exactly one computation (the memo table's single-flight) and identical
+// SHA-256 ETags. Run under -race this also exercises the handler's
+// concurrency safety.
+func TestServeConcurrentColdRequestsSingleFlight(t *testing.T) {
+	cfg := core.DefaultConfig()
+	opts := cmdOpts{
+		baseline: "base.json",
+		window:   sim.Duration(100 * time.Millisecond),
+		clients:  500,
+	}
+	h := newServeHandler(cfg, core.NewRunner(1), opts,
+		func(path string) ([]byte, error) { return nil, http.ErrMissingFile })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	etags := make([]string, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/api/exemplars/S1")
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			etags[i] = resp.Header.Get("ETag")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if etags[i] == "" || etags[i] != etags[0] {
+			t.Fatalf("client %d: etag %q differs from %q", i, etags[i], etags[0])
+		}
+	}
+	if got := h.computes.Load(); got != 1 {
+		t.Fatalf("cold endpoint computed %d times under %d concurrent clients, want 1", got, n)
+	}
+}

@@ -102,8 +102,12 @@ func TestServeMetricsPrometheusWithETag(t *testing.T) {
 		t.Error("runner self-metrics must be excluded (nondeterministic ETag)")
 	}
 	// Every sample line must scan as name{labels} value, and every name
-	// must stay within the Prometheus metric-name grammar.
+	// must stay within the Prometheus metric-name grammar. HELP/TYPE
+	// comment lines are part of the exposition format and skipped.
 	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
 		brace := strings.Index(line, "{")
 		if brace < 1 || !strings.Contains(line, `"} `) {
 			t.Fatalf("malformed exposition line %q", line)
@@ -134,6 +138,67 @@ func TestServeMetricsPrometheusWithETag(t *testing.T) {
 	resp3, _ := get(t, srv.URL+"/api/metrics/F1", map[string]string{"If-None-Match": `"sha256-stale"`})
 	if resp3.StatusCode != http.StatusOK || resp3.Header.Get("ETag") != etag {
 		t.Fatalf("stale revalidation: status %d etag %q", resp3.StatusCode, resp3.Header.Get("ETag"))
+	}
+}
+
+// The scale probes expose their full latency histogram as a real
+// Prometheus histogram family: HELP/TYPE header, cumulative le buckets
+// on the stats.Histogram boundaries, +Inf, _sum and _count.
+func TestServeMetricsHistogramExposition(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, body := get(t, srv.URL+"/api/metrics/S1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# HELP pentiumbench_nfs_latency_ns ",
+		"# TYPE pentiumbench_nfs_latency_ns histogram",
+		`pentiumbench_nfs_latency_ns_bucket{experiment="S1"`,
+		`le="+Inf"`,
+		"pentiumbench_nfs_latency_ns_sum{",
+		"pentiumbench_nfs_latency_ns_count{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%.400s", want, text)
+		}
+	}
+	// Buckets must be cumulative per series: non-decreasing counts, and
+	// the +Inf bucket equal to the family count.
+	last := map[string]int64{}
+	inf := map[string]int64{}
+	count := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, _ := strings.Cut(line, "{")
+		labels, valText, ok := strings.Cut(rest, "} ")
+		if !ok {
+			t.Fatalf("malformed line %q", line)
+		}
+		var v int64
+		fmt.Sscanf(valText, "%d", &v)
+		sys := labels[:strings.LastIndex(labels, ",le=")+1]
+		switch {
+		case name == "pentiumbench_nfs_latency_ns_bucket" && strings.Contains(labels, `le="+Inf"`):
+			inf[sys] = v
+		case name == "pentiumbench_nfs_latency_ns_bucket":
+			if v < last[sys] {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			last[sys] = v
+		case name == "pentiumbench_nfs_latency_ns_count":
+			count[labels] = v
+		}
+	}
+	if len(inf) == 0 || len(count) == 0 {
+		t.Fatal("no histogram series parsed")
+	}
+	for sys, n := range inf {
+		if fin := last[sys]; fin > n {
+			t.Fatalf("finite buckets (%d) exceed +Inf (%d) for %q", fin, n, sys)
+		}
 	}
 }
 
@@ -197,6 +262,103 @@ func TestServeTraceAndProfileEndpoints(t *testing.T) {
 	resp, _ = get(t, srv.URL+"/api/profile/F12?format=yaml", nil)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad format status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// The exemplar endpoint returns every sampled request's lifecycle with
+// phases that sum exactly to its recorded latency.
+func TestServeExemplarsEndpoint(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, body := get(t, srv.URL+"/api/exemplars/S1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var runs []struct {
+		Experiment string `json:"experiment"`
+		System     string `json:"system"`
+		ExemplarK  int    `json:"exemplar_k"`
+		Windows    []struct {
+			Window    int `json:"window"`
+			Exemplars []struct {
+				ID        uint64 `json:"id"`
+				Shed      bool   `json:"shed"`
+				WireNs    int64  `json:"wire_ns"`
+				RTONs     int64  `json:"rto_ns"`
+				QueueNs   int64  `json:"queue_ns"`
+				CPUNs     int64  `json:"cpu_ns"`
+				DiskWait  int64  `json:"disk_wait_ns"`
+				DiskNs    int64  `json:"disk_ns"`
+				LatencyNs int64  `json:"latency_ns"`
+			} `json:"exemplars"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(body, &runs); err != nil {
+		t.Fatalf("exemplars is not JSON: %v", err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no exemplar runs")
+	}
+	seen := 0
+	for _, r := range runs {
+		if r.Experiment != "S1" || r.ExemplarK != 4 {
+			t.Fatalf("bad run header %+v", r)
+		}
+		for _, w := range r.Windows {
+			if len(w.Exemplars) == 0 || len(w.Exemplars) > r.ExemplarK {
+				t.Fatalf("window %d holds %d exemplars, want 1..%d", w.Window, len(w.Exemplars), r.ExemplarK)
+			}
+			for _, e := range w.Exemplars {
+				seen++
+				sum := e.WireNs + e.RTONs + e.QueueNs + e.CPUNs + e.DiskWait + e.DiskNs
+				if sum != e.LatencyNs {
+					t.Fatalf("req %d phases sum to %d, latency %d", e.ID, sum, e.LatencyNs)
+				}
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no exemplars in any window")
+	}
+
+	// Probes without exemplar instrumentation are a 404.
+	resp2, _ := get(t, srv.URL+"/api/exemplars/F1", nil)
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("uninstrumented id status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// The audit endpoint returns a clean machine-readable verdict for the
+// exhibited scale probes.
+func TestServeAuditEndpoint(t *testing.T) {
+	srv := serveFixture(t, nil)
+	resp, body := get(t, srv.URL+"/api/audit/S1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var verdict struct {
+		ID      string `json:"id"`
+		OK      bool   `json:"ok"`
+		Reports []struct {
+			System    string `json:"system"`
+			Evaluated int    `json:"evaluated"`
+			Failed    int    `json:"failed"`
+		} `json:"reports"`
+	}
+	if err := json.Unmarshal(body, &verdict); err != nil {
+		t.Fatalf("audit is not JSON: %v", err)
+	}
+	if verdict.ID != "S1" || !verdict.OK || len(verdict.Reports) == 0 {
+		t.Fatalf("bad verdict: %s", body)
+	}
+	for _, rep := range verdict.Reports {
+		if rep.Failed != 0 || rep.Evaluated < 20 {
+			t.Fatalf("report %s: failed=%d evaluated=%d", rep.System, rep.Failed, rep.Evaluated)
+		}
+	}
+
+	resp2, _ := get(t, srv.URL+"/api/audit/F1", nil)
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unauditable id status = %d, want 404", resp2.StatusCode)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"slices"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -20,7 +21,8 @@ import (
 // serveSchema versions the persistent serve-response cache: bump it when
 // a response format changes so a -memo directory from an older build
 // degrades to recomputes (the store's key echo rejects the old entries).
-const serveSchema = "pentiumbench-serve/1"
+// /2: exemplar and audit endpoints, histogram exposition in /api/metrics.
+const serveSchema = "pentiumbench-serve/2"
 
 // serveEntry is one cached endpoint response: the body, its content
 // type, and the SHA-256 content hash that doubles as the ETag. It is
@@ -46,6 +48,9 @@ type serveHandler struct {
 	readFile func(string) ([]byte, error)
 	table    *memo.Table[string, serveEntry]
 	mux      *http.ServeMux
+	// computes counts cache-miss computations; tests assert the
+	// single-flight property (N concurrent cold requests, one compute).
+	computes atomic.Int64
 }
 
 // newServeHandler builds the HTTP handler; the CLI wraps it in a
@@ -68,6 +73,8 @@ func newServeHandler(cfg core.Config, runner *core.Runner, opts cmdOpts,
 	h.mux.HandleFunc("/api/timeseries/", h.handleID("/api/timeseries/", h.timeseries))
 	h.mux.HandleFunc("/api/trace/", h.handleID("/api/trace/", h.trace))
 	h.mux.HandleFunc("/api/profile/", h.handleID("/api/profile/", h.profile))
+	h.mux.HandleFunc("/api/exemplars/", h.handleID("/api/exemplars/", h.exemplars))
+	h.mux.HandleFunc("/api/audit/", h.handleID("/api/audit/", h.audit))
 	h.mux.HandleFunc("/api/baseline/diff", h.handle(func(r *http.Request) serveEntry {
 		return h.baselineDiff()
 	}))
@@ -92,6 +99,7 @@ func (h *serveHandler) handle(compute func(*http.Request) serveEntry) http.Handl
 			key += "?format=" + f
 		}
 		e := h.table.Do(key, func() serveEntry {
+			h.computes.Add(1)
 			return h.stored(key, func() serveEntry { return compute(r) })
 		})
 		if e.Code == http.StatusOK {
@@ -120,7 +128,8 @@ func (h *serveHandler) stored(key string, compute func() serveEntry) serveEntry 
 	mat, err := json.Marshal(map[string]any{
 		"schema": serveSchema, "seed": h.cfg.Seed, "runs": h.cfg.Runs,
 		"window": int64(h.opts.window), "clients": h.opts.clients,
-		"nfsd": h.opts.nfsd, "procs": h.opts.procs, "endpoint": key,
+		"nfsd": h.opts.nfsd, "procs": h.opts.procs,
+		"exemplars": h.opts.exemplars, "endpoint": key,
 	})
 	if err != nil {
 		return compute()
@@ -183,14 +192,25 @@ func (h *serveHandler) handleID(prefix string, fn func(id string, r *http.Reques
 	})
 }
 
-// observe runs one probe with the serve options; window > 0 attaches
-// the time-series sampler.
-func (h *serveHandler) observe(id string, window bool) (*core.SuiteObservation, error) {
-	opts := core.ObserveOpts{Procs: h.opts.procs, Clients: h.opts.clients, Nfsd: h.opts.nfsd}
+// observe runs one probe with the serve options; window attaches the
+// time-series sampler, exemplarK the per-window exemplar reservoirs.
+func (h *serveHandler) observe(id string, window bool, exemplarK int) (*core.SuiteObservation, error) {
+	opts := core.ObserveOpts{Procs: h.opts.procs, Clients: h.opts.clients,
+		Nfsd: h.opts.nfsd, ExemplarK: exemplarK}
 	if window {
 		opts.Window = h.opts.window
 	}
 	return h.runner.Observe(h.cfg, []string{id}, opts)
+}
+
+// exemplarK is the reservoir size the exemplar and audit endpoints use:
+// the -exemplars flag when given, else 4 (the audit default) — these
+// endpoints exist to show exemplars, so zero would be useless.
+func (h *serveHandler) exemplarK() int {
+	if h.opts.exemplars > 0 {
+		return h.opts.exemplars
+	}
+	return 4
 }
 
 // experiments lists the observability surface: every observable probe,
@@ -222,7 +242,7 @@ func (h *serveHandler) experiments() serveEntry {
 // text exposition format, runner self-metrics excluded (they carry wall
 // clock and would roll the content hash on every compute).
 func (h *serveHandler) metrics(id string, _ *http.Request) serveEntry {
-	suite, err := h.observe(id, false)
+	suite, err := h.observe(id, false, h.opts.exemplars)
 	if err != nil {
 		return fail(http.StatusInternalServerError, "observe %s: %v", id, err)
 	}
@@ -241,7 +261,40 @@ func (h *serveHandler) metrics(id string, _ *http.Request) serveEntry {
 			}
 		}
 	}
+	promLatencyHist(&b, suite)
 	return entry(b.Bytes(), "text/plain; version=0.0.4; charset=utf-8")
+}
+
+// promLatencyHist appends the NFS scale probes' full latency histogram
+// as a real Prometheus histogram family: cumulative le buckets on the
+// stats.Histogram boundaries, a +Inf bucket, _sum and _count, with the
+// HELP/TYPE header once before the first sample.
+func promLatencyHist(b *bytes.Buffer, suite *core.SuiteObservation) {
+	const family = "pentiumbench_nfs_latency_ns"
+	wroteHead := false
+	for _, o := range suite.Observations {
+		for _, run := range o.Runs {
+			hist := run.LatencyHist
+			if hist == nil || hist.N() == 0 {
+				continue
+			}
+			if !wroteHead {
+				fmt.Fprintf(b, "# HELP %s NFS request latency in virtual nanoseconds.\n", family)
+				fmt.Fprintf(b, "# TYPE %s histogram\n", family)
+				wroteHead = true
+			}
+			cum := uint64(0)
+			for _, bk := range hist.Buckets() {
+				cum += bk.Count
+				fmt.Fprintf(b, "%s_bucket{experiment=%q,system=%q,le=\"%d\"} %d\n",
+					family, o.ID, run.Label, bk.Upper, cum)
+			}
+			fmt.Fprintf(b, "%s_bucket{experiment=%q,system=%q,le=\"+Inf\"} %d\n",
+				family, o.ID, run.Label, hist.N())
+			fmt.Fprintf(b, "%s_sum{experiment=%q,system=%q} %d\n", family, o.ID, run.Label, hist.Sum())
+			fmt.Fprintf(b, "%s_count{experiment=%q,system=%q} %d\n", family, o.ID, run.Label, hist.N())
+		}
+	}
 }
 
 // promName maps a dotted metric name onto the Prometheus grammar
@@ -266,7 +319,7 @@ func (h *serveHandler) timeseries(id string, _ *http.Request) serveEntry {
 	if !slices.Contains(core.SampledIDs(), id) {
 		return fail(http.StatusNotFound, "%q has no time-series instrumentation (sampled: %v)", id, core.SampledIDs())
 	}
-	suite, err := h.observe(id, true)
+	suite, err := h.observe(id, true, h.opts.exemplars)
 	if err != nil {
 		return fail(http.StatusInternalServerError, "observe %s: %v", id, err)
 	}
@@ -290,7 +343,7 @@ func (h *serveHandler) timeseries(id string, _ *http.Request) serveEntry {
 // trace serves one probe's span streams as Chrome trace-event JSON
 // (load in Perfetto or chrome://tracing).
 func (h *serveHandler) trace(id string, _ *http.Request) serveEntry {
-	suite, err := h.observe(id, false)
+	suite, err := h.observe(id, false, h.opts.exemplars)
 	if err != nil {
 		return fail(http.StatusInternalServerError, "observe %s: %v", id, err)
 	}
@@ -310,7 +363,7 @@ func (h *serveHandler) profile(id string, r *http.Request) serveEntry {
 	default:
 		return fail(http.StatusBadRequest, "unknown profile format %q (want folded or pprof)", format)
 	}
-	suite, err := h.observe(id, false)
+	suite, err := h.observe(id, false, h.opts.exemplars)
 	if err != nil {
 		return fail(http.StatusInternalServerError, "observe %s: %v", id, err)
 	}
@@ -325,6 +378,63 @@ func (h *serveHandler) profile(id string, r *http.Request) serveEntry {
 		return fail(http.StatusInternalServerError, "profile %s: %v", id, err)
 	}
 	return entry(b.Bytes(), "text/plain; charset=utf-8")
+}
+
+// exemplars serves one scale probe's tail-biased request lifecycles:
+// per latency window, the K exemplar requests with every phase of their
+// lifetime (wire, RTO, queue, CPU, disk wait, disk) — the raw material
+// behind the audit's per-request checks.
+func (h *serveHandler) exemplars(id string, _ *http.Request) serveEntry {
+	if !slices.Contains(core.AuditableIDs(), id) {
+		return fail(http.StatusNotFound, "%q has no exemplar instrumentation (instrumented: %v)",
+			id, core.AuditableIDs())
+	}
+	suite, err := h.observe(id, true, h.exemplarK())
+	if err != nil {
+		return fail(http.StatusInternalServerError, "observe %s: %v", id, err)
+	}
+	type runExemplars struct {
+		Experiment string               `json:"experiment"`
+		System     string               `json:"system"`
+		ExemplarK  int                  `json:"exemplar_k"`
+		WindowNs   int64                `json:"window_ns"`
+		Dropped    int64                `json:"dropped"`
+		Windows    []obs.ExemplarWindow `json:"windows"`
+	}
+	out := []runExemplars{}
+	for _, o := range suite.Observations {
+		for _, run := range o.Runs {
+			if run.LatencyHist == nil {
+				continue
+			}
+			out = append(out, runExemplars{
+				Experiment: o.ID, System: run.Label,
+				ExemplarK: h.exemplarK(), WindowNs: int64(h.opts.window),
+				Dropped: run.ExemplarDrops, Windows: run.Exemplars,
+			})
+		}
+	}
+	body, _ := json.MarshalIndent(out, "", "  ")
+	return entry(append(body, '\n'), "application/json")
+}
+
+// audit serves one scale probe's queueing-law verdict: the same reports
+// the audit CLI command produces, violations ranked worst-first.
+func (h *serveHandler) audit(id string, _ *http.Request) serveEntry {
+	if !slices.Contains(core.AuditableIDs(), id) {
+		return fail(http.StatusNotFound, "no audit for %q (auditable: %v)", id, core.AuditableIDs())
+	}
+	ao, err := core.Audit(h.cfg, id, core.ObserveOpts{
+		Procs: h.opts.procs, Clients: h.opts.clients, Nfsd: h.opts.nfsd,
+		Window: h.opts.window, ExemplarK: h.exemplarK(),
+	})
+	if err != nil {
+		return fail(http.StatusInternalServerError, "audit %s: %v", id, err)
+	}
+	body, _ := json.MarshalIndent(map[string]any{
+		"id": ao.ID, "title": ao.Title, "ok": ao.OK(), "reports": ao.Reports,
+	}, "", "  ")
+	return entry(append(body, '\n'), "application/json")
 }
 
 // baselineDiff re-runs the committed baseline's probes with its recorded

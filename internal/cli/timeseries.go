@@ -113,10 +113,12 @@ func (a *App) timeseriesSVG(suite *core.SuiteObservation, dir string) int {
 			if run.Series == nil {
 				continue
 			}
+			flat := run.Series.Flatten()
 			runs = append(runs, report.TimelineRun{
-				Label:   run.Label,
-				WidthNs: run.Series.WidthNs,
-				Series:  run.Series.Flatten(),
+				Label:    run.Label,
+				WidthNs:  run.Series.WidthNs,
+				Series:   flat,
+				Overload: overloadWindows(flat),
 			})
 		}
 		path := fmt.Sprintf("%s/timeline-%s.svg", dir, o.ID)
@@ -130,4 +132,27 @@ func (a *App) timeseriesSVG(suite *core.SuiteObservation, dir string) int {
 		fmt.Fprintln(a.Stdout, "wrote", path)
 	}
 	return 0
+}
+
+// overloadWindows marks the windows where the NFS server was saturated:
+// queue drops (the queue was at capacity when a request landed) or
+// sheds. Runs without those series — the kernel probes — mark nothing.
+func overloadWindows(flat []obs.FlatSeries) []bool {
+	var out []bool
+	for _, s := range flat {
+		if s.Name != "nfs.queue_drops" && s.Name != "nfs.shed" {
+			continue
+		}
+		if len(s.Values) > len(out) {
+			grown := make([]bool, len(s.Values))
+			copy(grown, out)
+			out = grown
+		}
+		for i, v := range s.Values {
+			if v > 0 {
+				out[i] = true
+			}
+		}
+	}
+	return out
 }

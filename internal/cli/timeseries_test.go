@@ -53,6 +53,44 @@ func TestTimeseriesSVGWritesTimelines(t *testing.T) {
 	}
 }
 
+// A saturated lossy run must shade its overload windows and label the
+// virtual-time axis; a clean kernel probe must shade nothing.
+func TestTimeseriesSVGOverloadShadingAndTicks(t *testing.T) {
+	a, _, errb, files := testApp()
+	if plan, err := os.ReadFile("../../examples/scale-lossy.json"); err == nil {
+		files["scale-lossy.json"] = bytes.NewBuffer(plan)
+	}
+	args := []string{"-out", "figs", "-clients", "2000", "-faults", "scale-lossy.json",
+		"timeseries", "S1", "-format", "svg"}
+	if code := a.Execute(args); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	b, ok := files["figs/timeline-S1.svg"]
+	if !ok {
+		t.Fatalf("timeline SVG not written; files: %v", keysOf(files))
+	}
+	svg := b.String()
+	for _, want := range []string{
+		`fill="#d62728" fill-opacity="0.13"`, // overload shading
+		"overloaded windows (queue full or sheds)",
+		" virtual</text>",      // axis-end label
+		`text-anchor="middle"`, // interior virtual-time ticks
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("lossy timeline missing %q:\n%.400s", want, svg)
+		}
+	}
+
+	// The clean kernel probe has no overload series: no shading.
+	a2, _, errb2, files2 := testApp()
+	if code := a2.Execute([]string{"-out", "figs", "timeseries", "F1", "-format", "svg"}); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb2.String())
+	}
+	if strings.Contains(files2["figs/timeline-F1.svg"].String(), "overloaded windows") {
+		t.Fatal("clean run shaded overload windows")
+	}
+}
+
 func keysOf(m map[string]*bytes.Buffer) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/nfsserver"
+	"repro/internal/obs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// AuditObservation is the product of one experiment's queueing-law
+// audit: one verdict report per OS personality.
+type AuditObservation struct {
+	ID      string
+	Title   string
+	Reports []*audit.Report
+}
+
+// OK reports whether every personality audited clean.
+func (a *AuditObservation) OK() bool {
+	for _, r := range a.Reports {
+		if !r.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// AuditableIDs returns the experiments the audit engine can evaluate:
+// the NFS scale-out probes, whose server model carries the double-entry
+// accounting the invariants cross-check.
+func AuditableIDs() []string { return []string{"S1", "S2"} }
+
+// Audit re-runs one experiment's scale probe per personality — the same
+// construction and seeds Observe uses, so the audited run is the
+// exhibited run — with the sampler and exemplar reservoir attached, and
+// evaluates every queueing-law invariant (DESIGN.md §15). Window
+// defaults to 100 ms and ExemplarK to 4 when unset: an audit without
+// windows or exemplars would skip most of its checks.
+func Audit(cfg Config, id string, opts ObserveOpts) (*AuditObservation, error) {
+	opts = opts.withDefaults()
+	if opts.Window <= 0 {
+		opts.Window = 100 * sim.Millisecond
+	}
+	if opts.ExemplarK <= 0 {
+		opts.ExemplarK = 4
+	}
+	ok := false
+	for _, a := range AuditableIDs() {
+		if a == id {
+			ok = true
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: no audit for %q (have %v)", id, AuditableIDs())
+	}
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		profiles = osprofile.Paper()
+	}
+	title := id
+	if e, found := Lookup(id); found {
+		title = e.Title
+	}
+	out := &AuditObservation{ID: id, Title: title}
+	for _, p := range profiles {
+		inj := injFor(cfg, opts, id, p)
+		srv := nfsserver.New(nfsserver.Config{
+			Profile: p,
+			Clients: opts.Clients,
+			Nfsd:    opts.Nfsd,
+			Seed:    cfg.Seed ^ saltFor("scale", p.Name, opts.Clients),
+			Faults:  inj.Net,
+		})
+		smp := obs.NewSampler(opts.Window)
+		srv.SetSampler(smp)
+		ex := exemplarsFor(cfg, opts, p)
+		srv.SetExemplars(ex)
+		res := srv.Run()
+		ts := smp.Snapshot(sim.Time(res.Elapsed))
+		out.Reports = append(out.Reports, audit.Evaluate(audit.Input{
+			System:    p.String(),
+			Res:       res,
+			Facts:     srv.Facts(),
+			Series:    &ts,
+			Exemplars: ex.Snapshot(),
+			ExemplarK: opts.ExemplarK,
+		}))
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/osprofile"
+)
+
+// The exhibited scale probes must audit clean — every queueing-law
+// invariant exact — for both experiments, clean and under wire loss.
+func TestAuditScaleProbesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full audit sweep")
+	}
+	cfg := Config{Seed: 1, Profiles: osprofile.Paper()}
+	lossy := &fault.Plan{}
+	lossy.Net.UDPLossProb = 0.05
+	for _, plan := range []*fault.Plan{nil, lossy} {
+		for _, id := range AuditableIDs() {
+			a, err := Audit(cfg, id, ObserveOpts{Clients: 1000, Faults: plan})
+			if err != nil {
+				t.Fatalf("Audit(%s): %v", id, err)
+			}
+			if len(a.Reports) != len(osprofile.Paper()) {
+				t.Fatalf("%s: %d reports, want one per personality", id, len(a.Reports))
+			}
+			for _, rep := range a.Reports {
+				if !rep.OK() {
+					j, _ := json.MarshalIndent(rep.Violations, "", "  ")
+					t.Fatalf("%s %s (faults=%v) failed %d/%d checks:\n%s",
+						id, rep.System, plan != nil, rep.Failed, rep.Evaluated, j)
+				}
+				if rep.Evaluated < 20 {
+					t.Fatalf("%s %s: only %d checks evaluated", id, rep.System, rep.Evaluated)
+				}
+			}
+		}
+	}
+	if _, err := Audit(cfg, "T2", ObserveOpts{}); err == nil {
+		t.Fatal("Audit(T2) should fail: not auditable")
+	}
+}
+
+// Exemplar tracing must not change the probe's result rows or metrics —
+// only add exemplars, per-request tracks, and the latency histogram.
+func TestObserveExemplarsAdditive(t *testing.T) {
+	cfg := Config{Seed: 1, Profiles: osprofile.Paper()[:1]}
+	plain, err := Observe(cfg, "S1", ObserveOpts{Clients: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Observe(cfg, "S1", ObserveOpts{Clients: 1000, ExemplarK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, tr := plain.Runs[0], traced.Runs[0]
+	pm, _ := json.Marshal(pr.Metrics)
+	tm, _ := json.Marshal(tr.Metrics)
+	if string(pm) != string(tm) {
+		t.Fatal("exemplar tracing changed the metric snapshot")
+	}
+	if len(pr.Exemplars) != 0 {
+		t.Fatal("exemplars present with ExemplarK=0")
+	}
+	if len(tr.Exemplars) == 0 {
+		t.Fatal("no exemplars with ExemplarK=3")
+	}
+	for _, w := range tr.Exemplars {
+		if len(w.Exemplars) > 3 {
+			t.Fatalf("window %d holds %d exemplars, want <= 3", w.Window, len(w.Exemplars))
+		}
+	}
+	// Per-request tracks appear in the traced capture only.
+	count := func(p []string) int {
+		n := 0
+		for _, tr := range p {
+			if len(tr) > 4 && tr[:4] == "req " {
+				n++
+			}
+		}
+		return n
+	}
+	if count(pr.Process.Tracks) != 0 {
+		t.Fatal("per-request tracks present without exemplar tracing")
+	}
+	if count(tr.Process.Tracks) == 0 {
+		t.Fatal("no per-request tracks with exemplar tracing on")
+	}
+	if tr.LatencyHist == nil || tr.LatencyHist.N() == 0 {
+		t.Fatal("latency histogram missing from scale probe")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/osprofile"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // PhaseRow is one attribution row of a metrics table: a named phase and
@@ -50,6 +51,16 @@ type ObservedRun struct {
 	// only when ObserveOpts.Window enabled sampling and the probe has
 	// sampled instrumentation (see SampledIDs).
 	Series *obs.TimeSeries
+	// Exemplars is the run's per-window sampled request lifecycles,
+	// present only when ObserveOpts.ExemplarK enabled exemplar tracing
+	// and the probe's model offers them (S1/S2); ExemplarDrops counts
+	// offers the per-window reservoir bound rejected.
+	Exemplars     []obs.ExemplarWindow
+	ExemplarDrops int64
+	// LatencyHist is the model's exact latency histogram when the probe
+	// has one (S1/S2) — the source of Prometheus `le` bucket boundaries
+	// and the attachment point for exemplar buckets.
+	LatencyHist *stats.Histogram
 }
 
 // Observation is the observability product of one experiment probe.
@@ -84,6 +95,16 @@ type ObserveOpts struct {
 	// default) samples nothing and the probes are byte-identical to
 	// builds without the sampler.
 	Window sim.Duration
+	// ExemplarK, when positive, attaches a deterministic per-window
+	// exemplar reservoir of that capacity to the probes whose models
+	// offer request lifecycles (S1/S2): each run's
+	// ObservedRun.Exemplars carries the tail-biased sample, the trace
+	// gains per-request tracks, and Series (when sampling is also on)
+	// attaches the exemplars to its snapshot. Windows follow
+	// ObserveOpts.Window, defaulting to 100 ms when sampling is off.
+	// Zero (the default) traces nothing and the probes are
+	// byte-identical to builds without the reservoir.
+	ExemplarK int
 }
 
 func (o ObserveOpts) withDefaults() ObserveOpts {
@@ -286,7 +307,14 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 			srv.SetRecorder(rec)
 			smp := samplerFor(opts)
 			srv.SetSampler(smp)
+			ex := exemplarsFor(cfg, opts, p)
+			srv.SetExemplars(ex)
 			res := srv.Run()
+			exWins := ex.Snapshot()
+			// Per-request tracks ride in the same trace as the nfsd
+			// slots; appended post-run, so they cost nothing while the
+			// model runs (and nothing at all when tracing is off).
+			obs.ExemplarTracks(rec, exWins)
 			reg := obs.NewRegistry()
 			res.FoldMetrics(reg, "scale.")
 			inj.FoldMetrics(reg, "fault.")
@@ -302,14 +330,21 @@ func Observe(cfg Config, id string, opts ObserveOpts) (*Observation, error) {
 				reg.Counter("scale.phase_us." + ph.name).Add(ph.v.Microseconds())
 			}
 			snap := reg.Snapshot()
+			series := seriesOf(smp, res.Elapsed)
+			if series != nil {
+				series.Exemplars = exWins
+			}
 			out.Runs = append(out.Runs, ObservedRun{
-				Label:   p.String(),
-				Unit:    "µs",
-				Rows:    rows(snap, "scale.phase_us.", ""),
-				Total:   led.Sum().Microseconds(),
-				Process: rec.Capture(fmt.Sprintf("%s %s", id, p)),
-				Metrics: snap,
-				Series:  seriesOf(smp, res.Elapsed),
+				Label:         p.String(),
+				Unit:          "µs",
+				Rows:          rows(snap, "scale.phase_us.", ""),
+				Total:         led.Sum().Microseconds(),
+				Process:       rec.Capture(fmt.Sprintf("%s %s", id, p)),
+				Metrics:       snap,
+				Series:        series,
+				Exemplars:     exWins,
+				ExemplarDrops: ex.Dropped(),
+				LatencyHist:   &res.Hist,
 			})
 		}
 	default:
@@ -327,6 +362,22 @@ func samplerFor(opts ObserveOpts) *obs.Sampler {
 		return nil
 	}
 	return obs.NewSampler(opts.Window)
+}
+
+// exemplarsFor builds one S1/S2 probe run's exemplar reservoir, or nil
+// when exemplar tracing is off. The seed forks from the config seed with
+// its own salt, so exemplar selection is deterministic and independent
+// of the model's RNG streams; the window width follows the sampler's,
+// defaulting to 100 ms when sampling is off.
+func exemplarsFor(cfg Config, opts ObserveOpts, p *osprofile.Profile) *obs.Exemplars {
+	if opts.ExemplarK <= 0 {
+		return nil
+	}
+	w := opts.Window
+	if w <= 0 {
+		w = 100 * sim.Millisecond
+	}
+	return obs.NewExemplars(cfg.Seed^saltFor("exemplar", p.Name, opts.Clients), opts.ExemplarK, w)
 }
 
 // seriesOf snapshots a run's sampler at its end time; nil in, nil out.
@@ -470,6 +521,16 @@ func (r *Runner) Observe(cfg Config, ids []string, opts ObserveOpts) (*SuiteObse
 		dropped += pr.Dropped
 	}
 	reg.Counter("runner.obs_dropped").Add(float64(dropped))
+	// Exemplar reservoir rejections, summed across runs — the
+	// capture-fidelity counterpart of obs_dropped for exemplar tracing
+	// (deterministic: a pure function of the offered request sets).
+	var exDropped int64
+	for _, o := range obsv {
+		for _, run := range o.Runs {
+			exDropped += run.ExemplarDrops
+		}
+	}
+	reg.Counter("runner.exemplars_dropped").Add(float64(exDropped))
 	suite.Metrics = obs.MergeSnapshots(merged, reg.Snapshot())
 	return suite, nil
 }

@@ -254,13 +254,13 @@ type Server struct {
 	svc *sim.RNG // service stream: buffer-cache hit draws
 
 	// Precomputed per-class costs.
-	wireHdr    int64                // header transmit time (first frame of any request)
-	wireRem    [numClasses]int64    // remaining wire time: request payload + reply
-	cpuOf      [numClasses]int64    // nfsd CPU service time
-	diskAccess int64                // one disk access (seek + rotate + transfer + controller)
-	writeDisk  int64                // disk accesses per write (0 on async servers)
-	hitP       float64              // buffer-cache hit probability for reads
-	rtoOf      [retryTiers]int64    // lossless-wire backoff schedule
+	wireHdr    int64             // header transmit time (first frame of any request)
+	wireRem    [numClasses]int64 // remaining wire time: request payload + reply
+	cpuOf      [numClasses]int64 // nfsd CPU service time
+	diskAccess int64             // one disk access (seek + rotate + transfer + controller)
+	writeDisk  int64             // disk accesses per write (0 on async servers)
+	hitP       float64           // buffer-cache hit probability for reads
+	rtoOf      [retryTiers]int64 // lossless-wire backoff schedule
 
 	// Per-client state: 12 bytes each, nothing else scales with the
 	// population.
@@ -268,6 +268,7 @@ type Server struct {
 
 	// Request pool, struct-of-arrays with a free-list stack. Capacity is
 	// a function of server resources only.
+	rqID       []uint64 // arrival ordinal (1-based), stable across reruns
 	rqClient   []int32
 	rqClass    []uint8
 	rqSends    []uint8 // completed send attempts
@@ -310,7 +311,18 @@ type Server struct {
 	done       bool
 	endAt      int64
 
+	// Always-on audit accounting: O(1) integer work per flow event, no
+	// allocation, no RNG — an independent double-entry ledger the audit
+	// engine cross-checks the Result against. sysN counts requests in
+	// system (ingress queue + service), busyN busy nfsd slots; the area
+	// integrals ∫N(t)dt advance lazily at each population change.
+	sysN, busyN       int
+	lastFlow          int64
+	sysArea, busyArea int64
+	resends           uint64
+
 	rec *obs.Recorder
+	ex  *obs.Exemplars
 
 	// Time-series handles, all nil when no sampler is attached — each
 	// record below is then a nil-receiver no-op, so the unsampled hot
@@ -328,6 +340,7 @@ type Server struct {
 	tsSlots    *obs.SeriesGauge
 	tsBacklog  *obs.SeriesGauge
 	tsLat      *obs.SeriesHist
+	tsFlight   *obs.SeriesCounter
 
 	res Result
 }
@@ -359,9 +372,9 @@ func New(cfg Config) *Server {
 	s.wireHdr = int64(link.TransmitTime(rpcHeader))
 	wireData := int64(link.TransmitTime(xfer))
 	// Remaining wire time per class = (request − header) + reply.
-	s.wireRem[clRead] = s.wireHdr + wireData    // small request, data reply
-	s.wireRem[clWrite] = wireData + s.wireHdr   // data request, small reply
-	s.wireRem[clGetattr] = s.wireHdr            // small request, small reply
+	s.wireRem[clRead] = s.wireHdr + wireData  // small request, data reply
+	s.wireRem[clWrite] = wireData + s.wireHdr // data request, small reply
+	s.wireRem[clGetattr] = s.wireHdr          // small request, small reply
 
 	kb := int64(xfer) / 1024
 	base := int64(p.NFS.ServerPerRPC)
@@ -397,6 +410,7 @@ func New(cfg Config) *Server {
 	s.clRetrans = make([]uint32, cfg.Clients)
 
 	poolCap := cfg.QueueCap + cfg.Nfsd + retryTiers*retryRingCap + 1
+	s.rqID = make([]uint64, poolCap)
 	s.rqClient = make([]int32, poolCap)
 	s.rqClass = make([]uint8, poolCap)
 	s.rqSends = make([]uint8, poolCap)
@@ -472,7 +486,17 @@ func (s *Server) SetSampler(smp *obs.Sampler) {
 	s.tsSlots = smp.Gauge("nfs.busy_slots")
 	s.tsBacklog = smp.Gauge("disk.backlog_ns")
 	s.tsLat = smp.Hist("nfs.latency_ns")
+	s.tsFlight = smp.Counter("nfs.op_inflight")
 }
+
+// SetExemplars attaches an exemplar reservoir before Run: every
+// completed or shed operation's full lifecycle is offered, and the
+// reservoir keeps a deterministic tail-biased sample per window. Nil is
+// fine and costs nothing — the offer sites are guarded, so the disabled
+// hot path stays allocation free. Each retained exemplar's phase sum
+// equals its recorded lifetime exactly (the per-request form of the
+// ledger identity).
+func (s *Server) SetExemplars(ex *obs.Exemplars) { s.ex = ex }
 
 // Run executes the model to its TargetOps or AttemptBudget bound and
 // returns the result. Run consumes the Server; call once.
@@ -543,19 +567,55 @@ func (s *Server) arrive() {
 	s.rqIssue[r] = s.nextIssue
 	s.rqRTO[r] = 0
 	s.res.Arrivals++
+	s.rqID[r] = s.res.Arrivals
 	s.clIssued[s.pendClient]++
 	s.tsArrivals.Inc(s.w.Now())
+	s.tsFlight.Inc(s.w.Now())
 	s.ingress(r)
 	s.scheduleNextArrival()
 }
 
 func (s *Server) freeReq(r int32) { s.freeList = append(s.freeList, r) }
 
+// flowTick advances the occupancy area integrals to now; call before any
+// change to the in-system or busy-slot population. Event times are
+// non-decreasing, so dt is never negative.
+func (s *Server) flowTick(now int64) {
+	if dt := now - s.lastFlow; dt > 0 {
+		s.sysArea += int64(s.sysN) * dt
+		s.busyArea += int64(s.busyN) * dt
+		s.lastFlow = now
+	}
+}
+
+// shed abandons request r at now after wireSends send attempts (the last
+// of which may still have been on the wire): counts the shed, offers the
+// truncated lifecycle as an exemplar, and recycles the pool slot. The
+// identity now − issue == wireSends·wireHdr + rqRTO holds at every call
+// site, so the exemplar's phase sum equals its lifetime exactly.
+func (s *Server) shed(r int32, now, wireSends int64, tier int) {
+	s.res.Shed++
+	s.tsShed.Inc(sim.Time(now))
+	s.tsFlight.Add(sim.Time(now), -1)
+	if s.ex != nil {
+		s.ex.Offer(obs.Exemplar{
+			ID: s.rqID[r], Client: s.rqClient[r], Class: classNames[s.rqClass[r]],
+			Shed: true, Sends: int(wireSends), Tier: tier,
+			IssueNs: s.rqIssue[r], EnqNs: -1, StartNs: -1, EndNs: now,
+			WireNs: wireSends * s.wireHdr, RTONs: s.rqRTO[r],
+		})
+	}
+	s.freeReq(r)
+}
+
 // ingress is one send attempt reaching the server: it may be lost on the
 // wire, bounce off a full queue, or enter service.
 func (s *Server) ingress(r int32) {
 	s.attempts++
 	s.rqSends[r]++
+	if s.rqSends[r] > 1 {
+		s.resends++ // attempts == arrivals + resends, exactly
+	}
 	if s.cfg.Faults.DropRPC() {
 		s.clRetrans[s.rqClient[r]]++
 		s.res.Retransmits++
@@ -572,6 +632,8 @@ func (s *Server) ingress(r int32) {
 	}
 	now := int64(s.w.Now())
 	s.rqEnq[r] = now
+	s.flowTick(now)
+	s.sysN++
 	if n := len(s.idle); n > 0 {
 		slot := s.idle[n-1]
 		s.idle = s.idle[:n-1]
@@ -592,10 +654,14 @@ func (s *Server) ingress(r int32) {
 // too often or the ring is full.
 func (s *Server) requeue(r int32) {
 	sends := int(s.rqSends[r])
+	// A shed here happens at the drop instant, after `sends` completed
+	// sends; the deepest backoff tier entered was for send sends-1.
+	shedTier := sends - 2
+	if shedTier >= retryTiers {
+		shedTier = retryTiers - 1
+	}
 	if sends >= maxSendsPerOp {
-		s.res.Shed++
-		s.tsShed.Inc(s.w.Now())
-		s.freeReq(r)
+		s.shed(r, int64(s.w.Now()), int64(sends), shedTier)
 		return
 	}
 	tier := sends - 1
@@ -613,9 +679,7 @@ func (s *Server) requeue(r int32) {
 	}
 	rg := &s.rings[tier]
 	if rg.n == retryRingCap {
-		s.res.Shed++
-		s.tsShed.Inc(s.w.Now())
-		s.freeReq(r)
+		s.shed(r, int64(s.w.Now()), int64(sends), shedTier)
 		return
 	}
 	now := int64(s.w.Now())
@@ -650,15 +714,16 @@ func (s *Server) ringPop(tier int) {
 		}
 		s.w.ScheduleAt(sim.Time(due), s.ringFns[tier])
 	}
-	if s.attempts >= uint64(s.cfg.AttemptBudget) {
-		s.res.Shed++
-		s.tsShed.Inc(s.w.Now())
-		s.freeReq(r)
-		return
-	}
 	// Attribute the actual wait (backoff plus any ring delay) so the
 	// ledger identity holds exactly even if the schedule slipped.
 	s.rqRTO[r] += now - s.rqDrop[r] - s.wireHdr
+	if s.attempts >= uint64(s.cfg.AttemptBudget) {
+		// The abandoned resend was already on the wire (the pop time
+		// includes its header transmit), so it counts as a send; this
+		// request sat in `tier`'s ring.
+		s.shed(r, now, int64(s.rqSends[r])+1, tier)
+		return
+	}
 	s.ingress(r)
 }
 
@@ -667,6 +732,8 @@ func (s *Server) ringPop(tier int) {
 // single shared disk, FIFO behind whatever I/O is already promised.
 func (s *Server) dispatch(slot, r int32) {
 	now := int64(s.w.Now())
+	s.flowTick(now)
+	s.busyN++
 	class := s.rqClass[r]
 	cpu := s.cpuOf[class]
 	var diskOps int64
@@ -709,6 +776,9 @@ func (s *Server) complete(slot int32) {
 	r := s.slotReq[slot]
 	s.slotReq[slot] = -1
 	now := int64(s.w.Now())
+	s.flowTick(now)
+	s.sysN--
+	s.busyN--
 	class := s.rqClass[r]
 	lat := now + s.wireRem[class] - s.rqIssue[r]
 	s.res.Hist.Observe(lat)
@@ -724,8 +794,25 @@ func (s *Server) complete(slot int32) {
 	s.res.Busy += sim.Duration(now - s.rqStart[r])
 	s.endAt = now
 	s.tsDone.Inc(sim.Time(now))
+	s.tsFlight.Add(sim.Time(now), -1)
 	s.tsBusy.Add(sim.Time(now), now-s.rqStart[r])
 	s.tsLat.Observe(sim.Time(now), lat)
+	if s.ex != nil {
+		tier := int(s.rqSends[r]) - 2 // deepest backoff tier entered; -1 if none
+		if tier >= retryTiers {
+			tier = retryTiers - 1
+		}
+		s.ex.Offer(obs.Exemplar{
+			ID: s.rqID[r], Client: s.rqClient[r], Class: classNames[class],
+			Sends: int(s.rqSends[r]), Tier: tier,
+			IssueNs: s.rqIssue[r], EnqNs: s.rqEnq[r], StartNs: s.rqStart[r],
+			EndNs:  s.rqIssue[r] + lat,
+			WireNs: int64(s.rqSends[r])*s.wireHdr + s.wireRem[class],
+			RTONs:  s.rqRTO[r], QueueNs: s.rqStart[r] - s.rqEnq[r],
+			CPUNs: s.cpuOf[class], DiskWaitNs: s.rqDiskWait[r],
+			DiskNs: s.rqDiskTime[r],
+		})
+	}
 	if s.rec != nil {
 		s.rec.EndAt(sim.Time(now), s.slotTrack[slot], classNames[class],
 			float64(lat)/float64(sim.Microsecond))
@@ -759,6 +846,79 @@ func (s *Server) ClientBalance() (issued, done, retrans uint64) {
 		retrans += uint64(s.clRetrans[i])
 	}
 	return
+}
+
+// Facts is the server's independent double-entry accounting, collected
+// by mechanisms disjoint from the Result's counters: occupancy area
+// integrals advanced at each population change, the pool free-list, the
+// retry rings, and the per-client counter arrays. The audit engine
+// cross-checks the Result against these; every identity is exact in
+// integer nanoseconds.
+type Facts struct {
+	// QueueCap, Nfsd, and PoolCap echo capacities; PoolFree is the
+	// free-list depth at the end of the run.
+	QueueCap, Nfsd, PoolCap, PoolFree int
+	// InSystem counts requests in queue or in service at AuditEnd;
+	// BusySlots counts occupied nfsd slots; RingPending counts requests
+	// waiting in backoff rings.
+	InSystem, BusySlots, RingPending int
+	// Resends counts server-ingress attempts beyond each operation's
+	// first (Attempts == Arrivals + Resends).
+	Resends uint64
+	// SysAreaNs is ∫(requests in system)dt and BusyAreaNs ∫(busy
+	// slots)dt over [0, AuditEnd] — the L and ρ sides of Little's law
+	// and the utilization law.
+	SysAreaNs, BusyAreaNs int64
+	// SysResidualNs and BusyResidualNs are the residence and busy time
+	// accrued by requests still in flight at AuditEnd, which the ledger
+	// (completed operations only) cannot see.
+	SysResidualNs, BusyResidualNs int64
+	// ClIssued, ClDone, and ClRetrans sum the per-client counters.
+	ClIssued, ClDone, ClRetrans uint64
+	// AuditEndNs is the instant the integrals run to: the later of the
+	// last counted completion and the last flow event.
+	AuditEndNs int64
+}
+
+// Facts finalizes and reports the audit accounting. Call after Run; it
+// is idempotent and does not perturb the Result.
+func (s *Server) Facts() Facts {
+	end := s.endAt
+	if s.lastFlow > end {
+		end = s.lastFlow
+	}
+	s.flowTick(end)
+	var sysRes, busyRes int64
+	for i := 0; i < s.qLen; i++ {
+		p := s.qHead + i
+		if p >= len(s.q) {
+			p -= len(s.q)
+		}
+		sysRes += end - s.rqEnq[s.q[p]]
+	}
+	busySlots := 0
+	for _, r := range s.slotReq {
+		if r >= 0 {
+			busySlots++
+			sysRes += end - s.rqEnq[r]
+			busyRes += end - s.rqStart[r]
+		}
+	}
+	ringPending := 0
+	for t := range s.rings {
+		ringPending += s.rings[t].n
+	}
+	issued, done, retrans := s.ClientBalance()
+	return Facts{
+		QueueCap: s.cfg.QueueCap, Nfsd: s.cfg.Nfsd,
+		PoolCap: len(s.rqClient), PoolFree: len(s.freeList),
+		InSystem: s.sysN, BusySlots: busySlots, RingPending: ringPending,
+		Resends:   s.resends,
+		SysAreaNs: s.sysArea, BusyAreaNs: s.busyArea,
+		SysResidualNs: sysRes, BusyResidualNs: busyRes,
+		ClIssued: issued, ClDone: done, ClRetrans: retrans,
+		AuditEndNs: end,
+	}
 }
 
 // Run builds and runs a server in one call.

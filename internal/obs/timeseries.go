@@ -273,6 +273,10 @@ type TimeSeries struct {
 	Counters []CounterSeries `json:"counters,omitempty"`
 	Gauges   []GaugeSeries   `json:"gauges,omitempty"`
 	Hists    []HistSeries    `json:"hists,omitempty"`
+	// Exemplars carries the per-window sampled request lifecycles when
+	// exemplar tracing is enabled (see exemplar.go); the harness attaches
+	// an Exemplars reservoir's Snapshot after the run.
+	Exemplars []ExemplarWindow `json:"exemplars,omitempty"`
 }
 
 // Snapshot captures the sampler's series as of end (the run's final

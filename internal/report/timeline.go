@@ -10,10 +10,14 @@ import (
 
 // TimelineRun is one sampled run's contribution to a timeline figure:
 // the run label (an OS personality) and its flattened time series.
+// Overload optionally marks windows where the run was saturated (queue
+// at capacity — drops — or requests shed); marked windows are shaded
+// behind every strip.
 type TimelineRun struct {
-	Label   string
-	WidthNs int64
-	Series  []obs.FlatSeries
+	Label    string
+	WidthNs  int64
+	Series   []obs.FlatSeries
+	Overload []bool
 }
 
 // Timeline writes a small-multiple SVG of virtual-time series: one strip
@@ -77,6 +81,45 @@ func Timeline(w io.Writer, id, title string, runs []TimelineRun) {
 		return
 	}
 
+	// Overload columns: the union across runs, merged into contiguous
+	// spans so the shading stays one rect per episode per strip.
+	overload := make([]bool, windows)
+	for _, r := range runs {
+		for i, v := range r.Overload {
+			if i < windows && v {
+				overload[i] = true
+			}
+		}
+	}
+	type span struct{ from, to int } // [from, to)
+	var spans []span
+	for i := 0; i < windows; i++ {
+		if !overload[i] {
+			continue
+		}
+		j := i
+		for j < windows && overload[j] {
+			j++
+		}
+		spans = append(spans, span{i, j})
+		i = j
+	}
+	// colX maps a window index onto the shared x axis (same mapping the
+	// polylines use); column edges sit half a window either side.
+	colX := func(i float64) float64 {
+		px := float64(left)
+		if windows > 1 {
+			px += i / float64(windows-1) * float64(plotW)
+		}
+		if px < float64(left) {
+			px = float64(left)
+		}
+		if px > float64(left+plotW) {
+			px = float64(left + plotW)
+		}
+		return px
+	}
+
 	for si, name := range names {
 		sy := top + si*(stripH+stripGap)
 		// Strip max across runs scales the y axis.
@@ -95,6 +138,12 @@ func Timeline(w io.Writer, id, title string, runs []TimelineRun) {
 		}
 		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f7f7f7"/>`+"\n",
 			left, sy, plotW, stripH)
+		for _, sp := range spans {
+			x0 := colX(float64(sp.from) - 0.5)
+			x1 := colX(float64(sp.to-1) + 0.5)
+			fmt.Fprintf(w, `<rect x="%s" y="%d" width="%s" height="%d" fill="#d62728" fill-opacity="0.13"/>`+"\n",
+				trimNum(x0), sy, trimNum(x1-x0), stripH)
+		}
 		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" text-anchor="end">%s</text>`+"\n",
 			left-8, sy+stripH/2+4, fontSize, xmlEscape(name))
 		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" fill="#888" text-anchor="end">max %d</text>`+"\n",
@@ -119,16 +168,41 @@ func Timeline(w io.Writer, id, title string, runs []TimelineRun) {
 		}
 	}
 
-	// Shared x axis, in virtual time off the first run's window width.
+	// Shared x axis, in virtual time off the first run's window width:
+	// five ticks across the span, the last carrying the "virtual" unit.
 	axisY := top + len(names)*(stripH+stripGap) + 4
 	widthNs := int64(0)
 	if len(runs) > 0 {
 		widthNs = runs[0].WidthNs
 	}
-	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d">0</text>`+"\n",
-		left, axisY+12, fontSize)
-	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" text-anchor="end">%s</text>`+"\n",
-		left+plotW, axisY+12, fontSize, xmlEscape(virtualSpan(int64(windows)*widthNs)))
+	total := int64(windows) * widthNs
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999" stroke-width="1"/>`+"\n",
+		left, axisY, left+plotW, axisY)
+	const ticks = 4
+	for t := 0; t <= ticks; t++ {
+		px := left + t*plotW/ticks
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999" stroke-width="1"/>`+"\n",
+			px, axisY, px, axisY+4)
+		label := "0"
+		anchor := "middle"
+		switch {
+		case t == 0:
+			anchor = "start"
+		case t == ticks:
+			anchor = "end"
+			label = virtualSpan(total)
+		default:
+			label = virtualTick(total * int64(t) / ticks)
+		}
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" text-anchor="%s">%s</text>`+"\n",
+			px, axisY+15, fontSize, anchor, xmlEscape(label))
+	}
+	if len(spans) > 0 {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="#d62728" fill-opacity="0.13" stroke="#d62728" stroke-width="0.5"/>`+"\n",
+			left, axisY+22)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d">overloaded windows (queue full or sheds)</text>`+"\n",
+			left+14, axisY+31, fontSize-1)
+	}
 	fmt.Fprintln(w, `</svg>`)
 }
 
@@ -139,16 +213,19 @@ func sep(i int) string {
 	return " "
 }
 
-// virtualSpan renders a virtual-ns span for the axis label.
-func virtualSpan(ns int64) string {
+// virtualTick renders a virtual-ns instant for an interior axis tick.
+func virtualTick(ns int64) string {
 	switch {
 	case ns >= 1e9:
-		return fmt.Sprintf("%.2f s virtual", float64(ns)/1e9)
+		return fmt.Sprintf("%.2f s", float64(ns)/1e9)
 	case ns >= 1e6:
-		return fmt.Sprintf("%.2f ms virtual", float64(ns)/1e6)
+		return fmt.Sprintf("%.2f ms", float64(ns)/1e6)
 	case ns >= 1e3:
-		return fmt.Sprintf("%.2f µs virtual", float64(ns)/1e3)
+		return fmt.Sprintf("%.2f µs", float64(ns)/1e3)
 	default:
-		return fmt.Sprintf("%d ns virtual", ns)
+		return fmt.Sprintf("%d ns", ns)
 	}
 }
+
+// virtualSpan renders a virtual-ns span for the axis-end label.
+func virtualSpan(ns int64) string { return virtualTick(ns) + " virtual" }

@@ -79,6 +79,43 @@ func bucketWidth(i int) int64 {
 	return int64(1) << uint(i/histSubBuckets-1)
 }
 
+// BucketIndex maps a value to its histogram bucket index — the same
+// function Observe applies, exported so exemplars can be attached to the
+// bucket their latency lands in. Negative values clamp to zero, exactly
+// as Observe does.
+func BucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bucketOf(v)
+}
+
+// BucketUpperBound returns the largest value mapping to bucket i — the
+// inclusive upper boundary Quantile reports, and the `le` boundary a
+// Prometheus exposition of this histogram uses.
+func BucketUpperBound(i int) int64 { return bucketUpper(i) }
+
+// Bucket is one non-empty histogram bucket: its index, inclusive upper
+// boundary, and count.
+type Bucket struct {
+	Index int
+	Upper int64
+	Count uint64
+}
+
+// Buckets returns the non-empty buckets in ascending boundary order.
+// Cumulating the counts reproduces exactly the ranks Quantile walks —
+// the shape a Prometheus histogram exposition needs.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c != 0 {
+			out = append(out, Bucket{Index: i, Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
 // Observe records one observation. Negative values clamp to zero (the
 // histogram holds durations, and virtual time is monotonic — a negative
 // duration is a model bug upstream, not a value to bucket).

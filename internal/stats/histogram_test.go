@@ -236,3 +236,36 @@ func TestHistogramQuantileLowerEdges(t *testing.T) {
 	}()
 	h.QuantileLower(1.5)
 }
+
+func TestHistogramBucketsAccessor(t *testing.T) {
+	h := &Histogram{}
+	vals := []int64{0, 5, 5, 31, 32, 1000, 1 << 20, -3}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	bs := h.Buckets()
+	var n uint64
+	prev := int64(-1)
+	for _, b := range bs {
+		if b.Upper <= prev {
+			t.Fatalf("buckets not ascending: %d after %d", b.Upper, prev)
+		}
+		prev = b.Upper
+		if b.Upper != BucketUpperBound(b.Index) {
+			t.Fatalf("bucket %d upper %d != BucketUpperBound %d", b.Index, b.Upper, BucketUpperBound(b.Index))
+		}
+		n += b.Count
+	}
+	if n != h.N() {
+		t.Fatalf("bucket counts sum %d, want N %d", n, h.N())
+	}
+	for _, v := range vals {
+		i := BucketIndex(v)
+		if v < 0 {
+			v = 0
+		}
+		if got := bucketOf(v); got != i {
+			t.Fatalf("BucketIndex(%d) = %d, want %d", v, i, got)
+		}
+	}
+}
