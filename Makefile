@@ -29,9 +29,12 @@ short:
 # regression that a faulted `faults` report is byte-identical at -j 1
 # and -j 8 — the exemplar reservoirs, the queueing-law audit engine,
 # and the serve single-flight path (N concurrent cold clients, one
-# computation) under the race detector.
+# computation) under the race detector. The kernel and bench packages
+# carry the SMP machine and its NCPU=1 differential suite, so the
+# SMP engine (and the lock sweep that feeds exhibits L1/L2) is
+# certified race-free too.
 race:
-	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/memo/... ./internal/sim/... ./internal/fault/... ./internal/nfsserver/... ./internal/cli/... ./internal/obs/... ./internal/audit/...
+	$(GO) test -race ./internal/core/... ./internal/cache/... ./internal/memmodel/... ./internal/memo/... ./internal/sim/... ./internal/fault/... ./internal/nfsserver/... ./internal/cli/... ./internal/obs/... ./internal/audit/... ./internal/kernel/... ./internal/bench/...
 
 vet:
 	$(GO) vet ./...
@@ -44,11 +47,12 @@ bench:
 
 # Machine-readable suite wall-clock timings (cold, memo-fill, memo-warm;
 # best of three each, cold/warm outputs compared byte for byte), the NFS
-# scale-out sweep timings at 10^3 and 10^6 clients, and the `serve`
-# replay throughput under concurrent load, written to BENCH_pr8.json —
-# the perf-trajectory record.
+# scale-out sweep timings at 10^3 and 10^6 clients, the SMP lock-sweep
+# wall time (`locks`), and the `serve` replay throughput under
+# concurrent load, written to BENCH_pr10.json — the perf-trajectory
+# record.
 bench-json:
-	sh scripts/bench_json.sh BENCH_pr8.json
+	sh scripts/bench_json.sh BENCH_pr10.json
 
 # Metric regression gate: re-run the probes with the committed baseline's
 # recorded seed and diff every metric point (exact for integer ledgers,

@@ -118,6 +118,12 @@ func BenchmarkSupplementCrtdelDiskOps(b *testing.B) { runExhibit(b, "X2") }
 func BenchmarkScaleThroughputSweep(b *testing.B) { runExhibit(b, "S1") }
 func BenchmarkScaleLatencySweep(b *testing.B)    { runExhibit(b, "S2") }
 
+// SMP and IPC exhibits (DESIGN.md §16).
+
+func BenchmarkLockThroughputSweep(b *testing.B) { runExhibit(b, "L1") }
+func BenchmarkLockWaitSweep(b *testing.B)       { runExhibit(b, "L2") }
+func BenchmarkIPCBandwidthSweep(b *testing.B)   { runExhibit(b, "I1") }
+
 func benchScalePoint(b *testing.B, clients int) {
 	b.Helper()
 	cfg := nfsserver.Config{Profile: osprofile.Linux128(), Clients: clients, Seed: 1}
@@ -177,6 +183,7 @@ func TestEveryExhibitHasABenchmark(t *testing.T) {
 		"A1":  true, "A2": true, "A3": true, "A4": true, "A5": true, "A6": true, "A7": true,
 		"X1": true, "X2": true,
 		"S1": true, "S2": true,
+		"L1": true, "L2": true, "I1": true,
 	}
 	for _, e := range core.All() {
 		if !covered[e.ID] {

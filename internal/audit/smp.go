@@ -1,0 +1,88 @@
+package audit
+
+// SMP audits (DESIGN.md §16): the lock-contention runs carry the same
+// double-entry accounting as the server model, so the same evaluator
+// machinery cross-checks them — per-CPU ledger exactness (the SMP
+// analogue of the utilization law, with the spin ledger as a third,
+// explicitly-accounted column) and lock flow balance (every acquisition
+// released, every block woken, every contended wait observed).
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LockFacts is one lock's counter set, as the kernel accumulated it.
+type LockFacts struct {
+	Acquires    uint64
+	Releases    uint64
+	Contended   uint64
+	Uncontended uint64
+	Blocks      uint64
+	Wakeups     uint64
+	// WaitCount is the lock's wait-histogram observation count.
+	WaitCount uint64
+}
+
+// SMPInput bundles one SMP run's evidence.
+type SMPInput struct {
+	// System labels the personality (and lock kind) under audit.
+	System string
+	// NCPU and Threads size the run.
+	NCPU    int
+	Threads int
+	// Elapsed is the machine's total virtual time; Busy, Idle and Spin
+	// are the per-CPU ledgers (each len NCPU).
+	Elapsed sim.Duration
+	Busy    []sim.Duration
+	Idle    []sim.Duration
+	Spin    []sim.Duration
+	// Locks carries the flow counters of every lock in the run.
+	Locks []LockFacts
+}
+
+// EvaluateSMP runs the SMP invariants over one run's evidence. The
+// Report's Clients field carries the CPU count and Nfsd the thread
+// count (the JSON keys keep their names so every audit consumer parses
+// one shape; the CLI labels the columns per exhibit).
+func EvaluateSMP(in SMPInput) *Report {
+	rep := &Report{System: in.System, Clients: in.NCPU, Nfsd: in.Threads}
+	ev := &evaluator{rep: rep}
+
+	// Per-CPU ledger exactness: busy + idle + spin == elapsed, to the
+	// nanosecond, for every CPU. This is the house invariant that makes
+	// the spin-vs-sleep comparison trustworthy — spin waste can't hide
+	// in idle time or leak out of the accounting.
+	for c := 0; c < in.NCPU; c++ {
+		sum := in.Busy[c] + in.Idle[c] + in.Spin[c]
+		ev.exact("cpu-ledger", "run", -1, int64(sum), int64(in.Elapsed),
+			fmt.Sprintf("cpu %d: busy %v + idle %v + spin %v = %v vs elapsed %v",
+				c, in.Busy[c], in.Idle[c], in.Spin[c], sum, in.Elapsed))
+		ev.bound("cpu-utilization", "run", -1, int64(in.Busy[c]), int64(in.Elapsed),
+			fmt.Sprintf("cpu %d: busy %v ≤ elapsed %v", c, in.Busy[c], in.Elapsed))
+	}
+
+	// Lock flow balance: a drained machine holds nothing, so every
+	// acquisition was released, every acquisition was either contended
+	// or not, every block got exactly one wakeup, and the wait histogram
+	// observed exactly the contended acquisitions.
+	for i, l := range in.Locks {
+		ev.exact("lock-flow", "run", -1, int64(l.Acquires), int64(l.Releases),
+			fmt.Sprintf("lock %d: acquires %d = releases %d", i, l.Acquires, l.Releases))
+		ev.exact("lock-flow", "run", -1, int64(l.Contended+l.Uncontended), int64(l.Acquires),
+			fmt.Sprintf("lock %d: contended %d + uncontended %d = acquires %d",
+				i, l.Contended, l.Uncontended, l.Acquires))
+		ev.exact("lock-flow", "run", -1, int64(l.Blocks), int64(l.Wakeups),
+			fmt.Sprintf("lock %d: blocks %d = wakeups %d", i, l.Blocks, l.Wakeups))
+		ev.exact("hist-ledger", "run", -1, int64(l.WaitCount), int64(l.Contended),
+			fmt.Sprintf("lock %d: wait observations %d = contended acquires %d",
+				i, l.WaitCount, l.Contended))
+	}
+
+	rank(ev.runChecks)
+	rank(ev.violations)
+	rep.Checks = ev.runChecks
+	rep.Violations = ev.violations
+	return rep
+}

@@ -79,8 +79,14 @@ func (a *App) auditText(obsv []*core.AuditObservation) {
 			fmt.Fprintln(a.Stdout)
 		}
 		fmt.Fprintf(a.Stdout, "%s — %s: queueing-law audit\n", ao.ID, ao.Title)
-		fmt.Fprintf(a.Stdout, "  %-24s %9s %5s %8s %7s  %s\n",
-			"system", "clients", "nfsd", "checks", "failed", "verdict")
+		// The Report's Clients/Nfsd fields carry cpus/threads for the SMP
+		// audit (one field shape for every consumer); label accordingly.
+		c1, c2 := "clients", "nfsd"
+		if ao.ID == "L1" {
+			c1, c2 = "cpus", "threads"
+		}
+		fmt.Fprintf(a.Stdout, "  %-24s %9s %7s %8s %7s  %s\n",
+			"system", c1, c2, "checks", "failed", "verdict")
 		for _, rep := range ao.Reports {
 			systems++
 			verdict := "ok"
@@ -88,7 +94,7 @@ func (a *App) auditText(obsv []*core.AuditObservation) {
 				verdict = "FAIL"
 				failed++
 			}
-			fmt.Fprintf(a.Stdout, "  %-24s %9d %5d %8d %7d  %s\n",
+			fmt.Fprintf(a.Stdout, "  %-24s %9d %7d %8d %7d  %s\n",
 				rep.System, rep.Clients, rep.Nfsd, rep.Evaluated, rep.Failed, verdict)
 		}
 		for _, rep := range ao.Reports {

@@ -286,9 +286,9 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 	procs, format := o.procs, o.format
 	if o.faults != nil {
 		switch rest[0] {
-		case "scale", "trace", "metrics", "profile", "timeseries", "audit":
+		case "scale", "trace", "metrics", "profile", "timeseries", "audit", "ipc":
 		default:
-			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only scale, trace, metrics, profile, timeseries and audit take it; see the faults command)\n", rest[0])
+			fmt.Fprintf(a.Stderr, "pentiumbench: -faults does not apply to %q (only scale, trace, metrics, profile, timeseries, audit and ipc take it; see the faults command)\n", rest[0])
 			return 2
 		}
 	}
@@ -332,6 +332,10 @@ func (a *App) dispatch(fl *flag.FlagSet, cfg core.Config, runner *core.Runner,
 		return 0
 	case "scale":
 		return a.scale(cfg, o.clients, o.nfsd, o.faults)
+	case "locks":
+		return a.locks(cfg)
+	case "ipc":
+		return a.ipc(cfg, o.faults)
 	case "trace":
 		return a.trace(cfg, runner, rest[1:], a.probeOpts(o), format, o.top)
 	case "metrics":
@@ -450,6 +454,14 @@ commands:
                   latency percentiles (p50/p99/p999) and overload
                   counters; -nfsd sets the worker-slot count, -faults
                   injects a fault plan into every point
+  locks           sweep the SMP lock-contention model (exhibits L1/L2)
+                  over CPU counts per personality and lock kind:
+                  throughput, wait percentiles, spin/idle shares and
+                  context switches, all from exact per-CPU ledgers
+  ipc             sweep the IPC transport family (exhibit I1) over
+                  message sizes per personality: pipe vs UDP socket vs
+                  shared memory bandwidth; -faults perturbs the socket
+                  transport (the only one with a network under it)
   trace [ids|all] bare: annotated kernel timeline of one token-ring lap per
                   system (-procs sets the ring size). With experiment ids:
                   run the observability probes and export their span

@@ -30,8 +30,10 @@ func (a *AuditObservation) OK() bool {
 
 // AuditableIDs returns the experiments the audit engine can evaluate:
 // the NFS scale-out probes, whose server model carries the double-entry
-// accounting the invariants cross-check.
-func AuditableIDs() []string { return []string{"S1", "S2"} }
+// accounting the queueing-law invariants cross-check, and the SMP
+// lock-contention exhibit, whose per-CPU ledgers and lock flow counters
+// carry the DESIGN.md §16 exactness invariants.
+func AuditableIDs() []string { return []string{"S1", "S2", "L1"} }
 
 // Audit re-runs one experiment's scale probe per personality — the same
 // construction and seeds Observe uses, so the audited run is the
@@ -65,6 +67,43 @@ func Audit(cfg Config, id string, opts ObserveOpts) (*AuditObservation, error) {
 		title = e.Title
 	}
 	out := &AuditObservation{ID: id, Title: title}
+	if id == "L1" {
+		// The SMP audit re-runs the L2 sweep point (eight CPUs, the L1
+		// critical section) for both lock kinds per personality — the
+		// same construction the exhibits use — and checks the per-CPU
+		// ledger and lock flow-balance invariants. The run is a pure
+		// function of its parameters (no RNG), so the audited run is the
+		// exhibited run; fault plans have nothing to reach here.
+		for _, p := range profiles {
+			for _, kind := range lockKinds {
+				r := LockPoint(p, kind, lockSweepNCPU, lockCrit)
+				m, l := r.Machine, r.Lock
+				in := audit.SMPInput{
+					System:  fmt.Sprintf("%s %s", p, kind),
+					NCPU:    m.NCPU(),
+					Threads: len(m.Threads()),
+					Elapsed: m.Elapsed(),
+					Busy:    make([]sim.Duration, m.NCPU()),
+					Idle:    make([]sim.Duration, m.NCPU()),
+					Spin:    make([]sim.Duration, m.NCPU()),
+					Locks: []audit.LockFacts{{
+						Acquires:    l.Acquires,
+						Releases:    l.Releases,
+						Contended:   l.Contended,
+						Uncontended: l.Uncontended,
+						Blocks:      l.Blocks,
+						Wakeups:     l.Wakeups,
+						WaitCount:   l.WaitHist.N(),
+					}},
+				}
+				for c := 0; c < m.NCPU(); c++ {
+					in.Busy[c], in.Idle[c], in.Spin[c] = m.Ledger(c)
+				}
+				out.Reports = append(out.Reports, audit.EvaluateSMP(in))
+			}
+		}
+		return out, nil
+	}
 	for _, p := range profiles {
 		inj := injFor(cfg, opts, id, p)
 		srv := nfsserver.New(nfsserver.Config{

@@ -192,7 +192,8 @@ func All() []*Experiment {
 const rankUnknown = 1 << 20
 
 // rank orders experiment IDs: T2..T7, then F1..F13, then A1..A7, then the
-// supplementary X exhibits, then the S scale-out exhibits. A malformed
+// supplementary X exhibits, then the S scale-out exhibits, then the L
+// lock-contention and I IPC families. A malformed
 // ID — empty, a bare letter, or a non-numeric suffix like "T2b" — ranks
 // after everything rather than silently parsing as 0 and jumping the
 // queue.
@@ -215,6 +216,10 @@ func rank(id string) int {
 		return 300 + n
 	case 'S':
 		return 400 + n
+	case 'L':
+		return 500 + n
+	case 'I':
+		return 600 + n
 	}
 	return rankUnknown
 }

@@ -29,6 +29,7 @@ func TestRegistryCoversEveryExhibit(t *testing.T) {
 		"A1", "A2", "A3", "A4", "A5", "A6", "A7",
 		"X1", "X2",
 		"S1", "S2",
+		"L1", "L2", "I1",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

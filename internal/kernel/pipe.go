@@ -38,11 +38,26 @@ func (pp *Pipe) copyCost(n int) sim.Duration {
 	return sim.Duration(int64(pp.m.os.Kernel.PipeCopyPerKB) * int64(n) / 1024)
 }
 
-// wake readies every process on q and returns an emptied queue, charging
-// the wake cost once if anyone was woken.
+// wake readies waiters on q and returns the remaining queue. Under the
+// personality's wake-all policy (every built-in profile: historical
+// kernels thundering-herd their pipe sleepers) the whole queue is woken
+// for one wake charge. Under wake-one only the FIFO head is woken, one
+// wake charge per wakeup; a reader woken when another consumed the data
+// first simply re-blocks — the re-block costs nothing extra, since
+// switch time is charged at dispatch, not at wakeup.
 func (pp *Pipe) wake(q []*Proc) []*Proc {
 	if len(q) == 0 {
 		return q
+	}
+	if !pp.m.os.Kernel.PipeWakeAll {
+		p := q[0]
+		pp.m.chargeSpan(pp.m.kernelTrack, "wakeup", PhaseWakeup, pp.m.os.Kernel.PipeWake)
+		if pp.m.observing() {
+			pp.m.trace("wake", p.PID(), "%s", p.Name())
+		}
+		pp.m.ready(p)
+		copy(q, q[1:])
+		return q[:len(q)-1]
 	}
 	pp.m.chargeSpan(pp.m.kernelTrack, "wakeup", PhaseWakeup, pp.m.os.Kernel.PipeWake)
 	for _, p := range q {

@@ -34,10 +34,12 @@ type Proc struct {
 
 	// priority indexes the BSD run queues (all benchmark processes run at
 	// the same user priority). ready/readySeq serve the Linux goodness
-	// scan.
+	// scan. queued guards the slice-backed schedulers against double
+	// insertion when an already-runnable process is readied again.
 	priority int
 	ready    bool
 	readySeq uint64
+	queued   bool
 
 	// UserTime accumulates the virtual time this process charged.
 	UserTime sim.Duration

@@ -59,6 +59,12 @@ type scanAllSched struct {
 }
 
 func (s *scanAllSched) enqueue(p *Proc) {
+	if p.ready {
+		// Readying an already-ready task keeps its queue age: the real
+		// scheduler's goodness counter is a property of the task, not of
+		// the wakeup that delivered it.
+		return
+	}
 	s.seq++
 	p.readySeq = s.seq
 	p.ready = true
@@ -114,6 +120,12 @@ type runQueueSched struct {
 const nQueues = 32
 
 func (s *runQueueSched) enqueue(p *Proc) {
+	if p.queued {
+		// Already on a run queue; inserting again would let one process
+		// be picked twice.
+		return
+	}
+	p.queued = true
 	q := p.priority % nQueues
 	s.queues[q] = append(s.queues[q], p)
 	s.bitmap |= 1 << q
@@ -135,6 +147,7 @@ func (s *runQueueSched) pick() (*Proc, pickCost) {
 		s.bitmap &^= 1 << q
 	}
 	s.count--
+	p.queued = false
 	return p, pickCost{}
 }
 
@@ -149,6 +162,12 @@ type preemptiveSched struct {
 }
 
 func (s *preemptiveSched) enqueue(p *Proc) {
+	if p.queued {
+		// The dispatch queue is a plain slice; without this guard a
+		// double wakeup would duplicate the process in the queue.
+		return
+	}
+	p.queued = true
 	s.queue = append(s.queue, p)
 }
 
@@ -158,6 +177,7 @@ func (s *preemptiveSched) pick() (*Proc, pickCost) {
 	}
 	p := s.queue[0]
 	s.queue = s.queue[1:]
+	p.queued = false
 	cost := pickCost{}
 	if s.table != nil && !s.table.touch(p.pid) {
 		cost.tableMiss = true

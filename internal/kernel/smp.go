@@ -1,0 +1,574 @@
+package kernel
+
+// SMP support (DESIGN.md §16): a machine with NCPU virtual CPUs, per-CPU
+// run queues with deterministic work stealing (or one global queue,
+// selected per personality), and per-CPU busy/idle/spin ledgers that sum
+// to the machine's elapsed time exactly.
+//
+// Where the uniprocessor Machine runs benchmark bodies as goroutines
+// under a baton, the SMP machine is a conservative parallel
+// discrete-event simulator: every thread is an explicit state machine
+// over a small op program (compute, syscall, yield, lock/unlock, RCU),
+// and the engine always steps the CPU with the globally minimal local
+// clock (ties to the lowest CPU index). Because a CPU only ever observes
+// shared state — lock words, run queues, RCU reader marks — when its
+// local time is minimal, every observation is causally consistent, the
+// whole simulation is a pure single-goroutine function of its inputs,
+// and the output is bit-identical at any host parallelism.
+//
+// Exactness invariant: every advance of a CPU's local clock goes through
+// one of three funnels (advanceBusy, advanceSpin, advanceIdle), each
+// paired with exactly one ledger add, and finalize pads each CPU's idle
+// ledger to the machine end time — so busy[c] + idle[c] + spin[c] ==
+// elapsed holds exactly, per CPU, always. The audit engine re-checks it.
+//
+// At NCPU=1 the engine reduces to the uniprocessor scheduler bit for
+// bit: one FIFO queue (the per-CPU layout degenerates to it), the same
+// per-personality pick costs (goodness scan width, run-queue constant
+// pick, dispatch-table LRU misses), and dispatch charges only when
+// control actually changes hands. The seeded differential test in
+// smp_diff_test.go pins that equivalence for every personality.
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// OpKind is one instruction kind of a thread program.
+type OpKind int
+
+const (
+	// OpThink charges Op.D of user computation.
+	OpThink OpKind = iota
+	// OpSyscall charges the personality's bare system-call cost.
+	OpSyscall
+	// OpYield surrenders the CPU and re-enters the run queue.
+	OpYield
+	// OpLock acquires Op.L (spinning or blocking per the lock's kind).
+	OpLock
+	// OpUnlock releases Op.L.
+	OpUnlock
+	// OpRCURead runs an RCU read-side section of length Op.D against Op.R.
+	OpRCURead
+	// OpRCUSync waits out Op.R's grace period (writer-side synchronize).
+	OpRCUSync
+)
+
+// Op is one instruction of a thread program.
+type Op struct {
+	Kind OpKind
+	// D is the op's duration operand (OpThink, OpRCURead).
+	D sim.Duration
+	// L is the lock operand (OpLock, OpUnlock).
+	L *Lock
+	// R is the RCU domain operand (OpRCURead, OpRCUSync).
+	R *RCU
+}
+
+type sThreadState int
+
+const (
+	sReady sThreadState = iota
+	sRunning
+	sBlocked
+	sDone
+)
+
+// SThread is one thread of an SMP machine: an op program executed Loops
+// times.
+type SThread struct {
+	m     *SMPMachine
+	tid   int
+	name  string
+	state sThreadState
+	// home is the thread's home run queue under the per-CPU layout.
+	home int
+	// cpu is the CPU currently (or last) running the thread.
+	cpu int
+
+	ops   []Op
+	pc    int
+	loops int
+
+	// readyAt stamps when the thread last became runnable; a CPU
+	// dispatching it earlier on its own clock accrues the gap as idle.
+	readyAt sim.Time
+	// backoff is the spinlock backoff ladder position (0 = not spinning).
+	backoff sim.Duration
+	// waitStart stamps when the thread began waiting for a lock.
+	waitStart sim.Time
+
+	// UserTime accumulates the thread's OpThink/OpRCURead compute time.
+	UserTime sim.Duration
+	// Iters counts completed program iterations.
+	Iters uint64
+}
+
+// TID returns the thread identifier (1-based, like PIDs).
+func (t *SThread) TID() int { return t.tid }
+
+// SMPMachine is a simulated multiprocessor running one OS personality.
+// Like Machine it is driven from a single goroutine and is not safe for
+// concurrent use.
+type SMPMachine struct {
+	os   *osprofile.Profile
+	ncpu int
+
+	threads []*SThread
+	nextTID int
+	live    int
+
+	// Per-CPU state, indexed by CPU.
+	now     []sim.Time
+	busyT   []sim.Duration
+	idleT   []sim.Duration
+	spinT   []sim.Duration
+	running []*SThread
+	lastRun []int
+
+	// Run queues: globalQ under the shared layout, cpuQ[c] per CPU under
+	// osprofile.KernelCosts.PerCPUQueues.
+	globalQ []*SThread
+	cpuQ    [][]*SThread
+	// table is the Solaris dispatch-resource model, shared machine-wide
+	// exactly like the uniprocessor scheduler's.
+	table *lruTable
+
+	switches uint64
+	steals   uint64
+
+	// Machine-wide phase aggregates (the per-CPU ledgers are the exact
+	// decomposition; these attribute the busy side by activity).
+	dispatchT sim.Duration
+	syscallT  sim.Duration
+	userT     sim.Duration
+	lockT     sim.Duration
+
+	locks []*Lock
+
+	clock    sim.Clock
+	elapsed  sim.Duration
+	finished bool
+
+	rec       *obs.Recorder
+	cpuTracks []obs.TrackID
+}
+
+// NewSMPMachine builds an SMP machine with ncpu virtual CPUs running the
+// given personality. An unknown scheduler kind or a non-positive CPU
+// count is a returned error.
+func NewSMPMachine(os *osprofile.Profile, ncpu int) (*SMPMachine, error) {
+	if ncpu < 1 {
+		return nil, fmt.Errorf("kernel: SMP machine needs at least one CPU, got %d", ncpu)
+	}
+	switch os.Kernel.Scheduler {
+	case osprofile.SchedScanAll, osprofile.SchedRunQueues, osprofile.SchedPreemptiveMT:
+	default:
+		return nil, fmt.Errorf("kernel: %s: unknown scheduler kind %d", os, int(os.Kernel.Scheduler))
+	}
+	m := &SMPMachine{
+		os:      os,
+		ncpu:    ncpu,
+		nextTID: 1,
+		now:     make([]sim.Time, ncpu),
+		busyT:   make([]sim.Duration, ncpu),
+		idleT:   make([]sim.Duration, ncpu),
+		spinT:   make([]sim.Duration, ncpu),
+		running: make([]*SThread, ncpu),
+		lastRun: make([]int, ncpu),
+	}
+	for c := range m.lastRun {
+		m.lastRun[c] = -1
+	}
+	if os.Kernel.PerCPUQueues {
+		m.cpuQ = make([][]*SThread, ncpu)
+	}
+	if os.Kernel.Scheduler == osprofile.SchedPreemptiveMT && os.Kernel.CtxTableSize > 0 {
+		m.table = newLRUTable(os.Kernel.CtxTableSize)
+	}
+	return m, nil
+}
+
+// MustSMPMachine is NewSMPMachine for the built-in personalities.
+func MustSMPMachine(os *osprofile.Profile, ncpu int) *SMPMachine {
+	m, err := NewSMPMachine(os, ncpu)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// OS returns the machine's personality; NCPU its CPU count.
+func (m *SMPMachine) OS() *osprofile.Profile { return m.os }
+
+// NCPU returns the number of virtual CPUs.
+func (m *SMPMachine) NCPU() int { return m.ncpu }
+
+// Clock exposes the machine clock (advanced to the end time by Run) so
+// an obs ring recorder can be constructed against it.
+func (m *SMPMachine) Clock() *sim.Clock { return &m.clock }
+
+// Switches returns the context switches performed; Steals the dispatches
+// served by stealing from another CPU's queue.
+func (m *SMPMachine) Switches() uint64 { return m.switches }
+
+// Steals returns the number of cross-CPU queue steals.
+func (m *SMPMachine) Steals() uint64 { return m.steals }
+
+// Elapsed returns the machine's total virtual run time (valid after Run).
+func (m *SMPMachine) Elapsed() sim.Duration { return m.elapsed }
+
+// Ledger returns CPU c's exact time decomposition. After Run,
+// busy+idle+spin == Elapsed for every CPU.
+func (m *SMPMachine) Ledger(c int) (busy, idle, spin sim.Duration) {
+	return m.busyT[c], m.idleT[c], m.spinT[c]
+}
+
+// DispatchTime, SyscallTime, UserTime and LockTime return the
+// machine-wide busy-side activity aggregates.
+func (m *SMPMachine) DispatchTime() sim.Duration { return m.dispatchT }
+
+// SyscallTime returns the total system-call entry/exit time.
+func (m *SMPMachine) SyscallTime() sim.Duration { return m.syscallT }
+
+// UserTime returns the total user computation time.
+func (m *SMPMachine) UserTime() sim.Duration { return m.userT }
+
+// LockTime returns the total fixed lock/RCU operation time (spin-wait
+// time is in the per-CPU spin ledgers, not here).
+func (m *SMPMachine) LockTime() sim.Duration { return m.lockT }
+
+// Threads returns the machine's threads in spawn order.
+func (m *SMPMachine) Threads() []*SThread { return m.threads }
+
+// Observe attaches a span recorder: each CPU gets its own track
+// ("cpu 0", "cpu 1", ...) carrying run spans per scheduling period and
+// spin spans per contended spinlock acquisition.
+func (m *SMPMachine) Observe(rec *obs.Recorder) {
+	m.rec = rec
+	m.cpuTracks = make([]obs.TrackID, m.ncpu)
+	for c := range m.cpuTracks {
+		m.cpuTracks[c] = rec.Track(fmt.Sprintf("cpu %d", c))
+	}
+}
+
+// FoldMetrics adds the machine's counters to a registry under the given
+// prefix ("smp." conventionally): switches, steals, the busy-side
+// activity split, and the per-CPU ledgers.
+func (m *SMPMachine) FoldMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + "context_switches").Add(float64(m.switches))
+	reg.Counter(prefix + "steals").Add(float64(m.steals))
+	reg.Counter(prefix + "phase_us.dispatch").Add(m.dispatchT.Microseconds())
+	reg.Counter(prefix + "phase_us.syscall").Add(m.syscallT.Microseconds())
+	reg.Counter(prefix + "phase_us.user").Add(m.userT.Microseconds())
+	reg.Counter(prefix + "phase_us.lock").Add(m.lockT.Microseconds())
+	for c := 0; c < m.ncpu; c++ {
+		reg.Counter(fmt.Sprintf("%scpu%d.busy_us", prefix, c)).Add(m.busyT[c].Microseconds())
+		reg.Counter(fmt.Sprintf("%scpu%d.idle_us", prefix, c)).Add(m.idleT[c].Microseconds())
+		reg.Counter(fmt.Sprintf("%scpu%d.spin_us", prefix, c)).Add(m.spinT[c].Microseconds())
+	}
+}
+
+// SpawnThread creates a thread that executes ops loops times, runnable
+// at time zero. Threads must be spawned before Run.
+func (m *SMPMachine) SpawnThread(name string, ops []Op, loops int) *SThread {
+	if m.finished {
+		panic("kernel: spawning on a finished SMP machine")
+	}
+	if loops < 1 {
+		panic("kernel: SMP thread needs at least one loop")
+	}
+	t := &SThread{
+		m:     m,
+		tid:   m.nextTID,
+		name:  name,
+		home:  (m.nextTID - 1) % m.ncpu,
+		cpu:   -1,
+		ops:   ops,
+		loops: loops,
+	}
+	m.nextTID++
+	m.threads = append(m.threads, t)
+	m.live++
+	m.enqueue(t, 0)
+	return t
+}
+
+// enqueue marks t runnable as of time at and appends it to its queue.
+func (m *SMPMachine) enqueue(t *SThread, at sim.Time) {
+	t.state = sReady
+	t.readyAt = at
+	if m.cpuQ != nil {
+		m.cpuQ[t.home] = append(m.cpuQ[t.home], t)
+		return
+	}
+	m.globalQ = append(m.globalQ, t)
+}
+
+// The three clock funnels. Every local-clock advance goes through
+// exactly one of them, each paired with exactly one ledger add — the
+// mechanical basis of the per-CPU exactness invariant.
+
+func (m *SMPMachine) advanceBusy(c int, agg *sim.Duration, d sim.Duration) {
+	m.now[c] = m.now[c].Add(d)
+	m.busyT[c] += d
+	*agg += d
+}
+
+func (m *SMPMachine) advanceSpin(c int, d sim.Duration) {
+	m.now[c] = m.now[c].Add(d)
+	m.spinT[c] += d
+}
+
+func (m *SMPMachine) advanceIdle(c int, d sim.Duration) {
+	m.now[c] = m.now[c].Add(d)
+	m.idleT[c] += d
+}
+
+// queueHead returns the thread CPU c would dispatch next (without
+// removing it): its own queue's head, or — per-CPU layout only — the
+// head of the longest other queue (steal candidate, ties to the lowest
+// victim index).
+func (m *SMPMachine) queueHead(c int) *SThread {
+	if m.cpuQ == nil {
+		if len(m.globalQ) == 0 {
+			return nil
+		}
+		return m.globalQ[0]
+	}
+	if q := m.cpuQ[c]; len(q) > 0 {
+		return q[0]
+	}
+	if v := m.stealVictim(c); v >= 0 {
+		return m.cpuQ[v][0]
+	}
+	return nil
+}
+
+// stealVictim picks the CPU to steal from: the longest queue, ties to
+// the lowest index; -1 when every other queue is empty.
+func (m *SMPMachine) stealVictim(c int) int {
+	victim := -1
+	for v := range m.cpuQ {
+		if v == c || len(m.cpuQ[v]) == 0 {
+			continue
+		}
+		if victim < 0 || len(m.cpuQ[v]) > len(m.cpuQ[victim]) {
+			victim = v
+		}
+	}
+	return victim
+}
+
+// takeQueued removes and returns CPU c's next thread, reporting whether
+// it was stolen from another CPU's queue.
+func (m *SMPMachine) takeQueued(c int) (t *SThread, stolen bool) {
+	if m.cpuQ == nil {
+		if len(m.globalQ) == 0 {
+			return nil, false
+		}
+		t, m.globalQ = m.globalQ[0], m.globalQ[1:]
+		return t, false
+	}
+	if q := m.cpuQ[c]; len(q) > 0 {
+		t, m.cpuQ[c] = q[0], q[1:]
+		return t, false
+	}
+	v := m.stealVictim(c)
+	if v < 0 {
+		return nil, false
+	}
+	q := m.cpuQ[v]
+	t, m.cpuQ[v] = q[0], q[1:]
+	return t, true
+}
+
+// cpuKey returns the virtual time at which CPU c can next make progress:
+// its local clock while it runs a thread, or the dispatch time of the
+// thread it would pull; ok is false when the CPU has nothing to do.
+func (m *SMPMachine) cpuKey(c int) (key sim.Time, ok bool) {
+	if m.running[c] != nil {
+		return m.now[c], true
+	}
+	h := m.queueHead(c)
+	if h == nil {
+		return 0, false
+	}
+	key = m.now[c]
+	if h.readyAt > key {
+		key = h.readyAt
+	}
+	return key, true
+}
+
+// nextCPU picks the CPU with the globally minimal progress time (ties to
+// the lowest index) — the conservative sequencing rule that makes every
+// shared-state observation causally consistent.
+func (m *SMPMachine) nextCPU() int {
+	best := -1
+	var bestKey sim.Time
+	for c := 0; c < m.ncpu; c++ {
+		key, ok := m.cpuKey(c)
+		if !ok {
+			continue
+		}
+		if best < 0 || key < bestKey {
+			best, bestKey = c, key
+		}
+	}
+	return best
+}
+
+// dispatch pulls CPU c's next thread, accrues the idle gap up to its
+// ready time, and charges the personality's switch cost when control
+// actually changes hands — the same goodness-scan width, constant-time
+// pick, and dispatch-table LRU rules as the uniprocessor scheduler.
+func (m *SMPMachine) dispatch(c int) {
+	t, stolen := m.takeQueued(c)
+	if t == nil {
+		return
+	}
+	if t.readyAt > m.now[c] {
+		m.advanceIdle(c, t.readyAt.Sub(m.now[c]))
+	}
+	k := &m.os.Kernel
+	scanned := 0
+	miss := false
+	switch k.Scheduler {
+	case osprofile.SchedScanAll:
+		scanned = m.live
+	case osprofile.SchedPreemptiveMT:
+		// The dispatch resource is consulted on every pick, exactly like
+		// the uniprocessor scheduler; the reload penalty is only paid
+		// when the dispatch actually switches.
+		if m.table != nil && !m.table.touch(t.tid) {
+			miss = true
+		}
+	}
+	if stolen {
+		m.advanceBusy(c, &m.dispatchT, k.StealCost)
+		m.steals++
+	}
+	if t.tid != m.lastRun[c] {
+		d := k.CtxBase + sim.Duration(int64(k.CtxPerTask)*int64(scanned))
+		if miss {
+			d += k.CtxTableMiss
+		}
+		m.advanceBusy(c, &m.dispatchT, d)
+		m.switches++
+	}
+	m.lastRun[c] = t.tid
+	m.running[c] = t
+	t.state = sRunning
+	t.cpu = c
+	if m.rec != nil {
+		m.rec.BeginAt(m.now[c], m.cpuTracks[c], "run "+t.name)
+	}
+}
+
+// endRun closes CPU c's current run span (if observing).
+func (m *SMPMachine) endRun(c int) {
+	if m.rec != nil && m.running[c] != nil {
+		m.rec.EndAt(m.now[c], m.cpuTracks[c], "run "+m.running[c].name, 0)
+	}
+}
+
+// finish retires t after its last iteration.
+func (m *SMPMachine) finish(c int, t *SThread) {
+	t.state = sDone
+	m.live--
+	m.endRun(c)
+	m.running[c] = nil
+}
+
+// exec advances CPU c's current thread by one op (handling the
+// iteration wrap first, so a thread re-dispatched after its final yield
+// retires the way a uniprocessor process exits after being picked).
+func (m *SMPMachine) exec(c int, t *SThread) {
+	if t.pc == len(t.ops) {
+		t.Iters++
+		t.loops--
+		if t.loops <= 0 {
+			m.finish(c, t)
+			return
+		}
+		t.pc = 0
+	}
+	op := t.ops[t.pc]
+	switch op.Kind {
+	case OpThink:
+		m.advanceBusy(c, &m.userT, op.D)
+		t.UserTime += op.D
+		t.pc++
+	case OpSyscall:
+		m.advanceBusy(c, &m.syscallT, m.os.Kernel.Syscall)
+		t.pc++
+	case OpYield:
+		t.pc++
+		m.endRun(c)
+		m.enqueue(t, m.now[c])
+		m.running[c] = nil
+	case OpLock:
+		op.L.acquire(c, t)
+	case OpUnlock:
+		op.L.release(c, t)
+	case OpRCURead:
+		op.R.read(c, t, op.D)
+	case OpRCUSync:
+		op.R.synchronize(c, t)
+	default:
+		panic(fmt.Sprintf("kernel: unknown SMP op kind %d", int(op.Kind)))
+	}
+}
+
+// Run executes every thread to completion and returns the machine's
+// elapsed virtual time. It panics with a *sim.DeadlockError if threads
+// remain blocked with nothing runnable.
+func (m *SMPMachine) Run() sim.Duration {
+	if m.finished {
+		panic("kernel: SMP machine already run")
+	}
+	for {
+		c := m.nextCPU()
+		if c < 0 {
+			break
+		}
+		if m.running[c] == nil {
+			m.dispatch(c)
+			continue
+		}
+		m.exec(c, m.running[c])
+	}
+	var end sim.Time
+	for _, n := range m.now {
+		if n > end {
+			end = n
+		}
+	}
+	var blocked []string
+	for _, t := range m.threads {
+		if t.state == sBlocked {
+			blocked = append(blocked, fmt.Sprintf("%d (%s)", t.tid, t.name))
+		}
+	}
+	if len(blocked) > 0 {
+		panic(&sim.DeadlockError{Now: end, Blocked: blocked})
+	}
+	// Pad every CPU's idle ledger to the machine end time, closing the
+	// per-CPU exactness identity busy+idle+spin == elapsed.
+	for c := range m.now {
+		if end > m.now[c] {
+			m.advanceIdle(c, end.Sub(m.now[c]))
+		}
+	}
+	m.clock.AdvanceTo(end)
+	m.elapsed = end.Sub(0)
+	m.finished = true
+	return m.elapsed
+}

@@ -1,0 +1,133 @@
+package kernel
+
+// The seeded differential test behind the BENCH_baseline safety claim:
+// at NCPU=1 the SMP engine must reproduce the uniprocessor machine's
+// accounting bit for bit — same elapsed time, same switch count, same
+// per-activity time split — for every personality, on the T-series
+// probe shapes (the getpid loop and a yield round-robin). The legacy
+// machine runs process bodies as goroutines under a baton; the SMP
+// machine is an explicit state machine; agreement here means the SMP
+// dispatch cost model (goodness scan width, constant-time pick,
+// dispatch-table LRU) is the same model, not a lookalike.
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/osprofile"
+	"repro/internal/sim"
+)
+
+// diffStats is the comparable accounting of one run.
+type diffStats struct {
+	elapsed  sim.Duration
+	switches uint64
+	dispatch sim.Duration
+	syscall  sim.Duration
+	user     sim.Duration
+}
+
+func legacyStats(m *Machine) diffStats {
+	return diffStats{
+		elapsed:  m.Now().Sub(0),
+		switches: m.Switches(),
+		dispatch: m.PhaseTime(PhaseDispatch),
+		syscall:  m.PhaseTime(PhaseSyscall),
+		user:     m.PhaseTime(PhaseUser),
+	}
+}
+
+func smpStats(m *SMPMachine) diffStats {
+	return diffStats{
+		elapsed:  m.Elapsed(),
+		switches: m.Switches(),
+		dispatch: m.DispatchTime(),
+		syscall:  m.SyscallTime(),
+		user:     m.UserTime(),
+	}
+}
+
+func TestSMPAtOneCPUMatchesUniprocessorGetpid(t *testing.T) {
+	const iters = 10_000
+	for _, p := range osprofile.All() {
+		leg := MustMachine(cpu.PentiumP54C100(), p, sim.NewRNG(0))
+		leg.Spawn("getpid-loop", func(pr *Proc) {
+			for i := 0; i < iters; i++ {
+				pr.Getpid()
+			}
+		})
+		leg.Run()
+
+		smp := MustSMPMachine(p, 1)
+		smp.SpawnThread("getpid-loop", []Op{{Kind: OpSyscall}}, iters)
+		smp.Run()
+
+		if l, s := legacyStats(leg), smpStats(smp); l != s {
+			t.Errorf("%s getpid: legacy %+v != smp %+v", p, l, s)
+		}
+	}
+}
+
+func TestSMPAtOneCPUMatchesUniprocessorYieldRing(t *testing.T) {
+	// 40 processes exercise the Solaris dispatch table past its 32
+	// entries, so LRU miss charging is compared too; 5 processes cover
+	// the small-ring shape of Figure 1.
+	for _, shape := range []struct{ nproc, laps int }{{5, 40}, {40, 5}} {
+		for _, p := range osprofile.All() {
+			leg := MustMachine(cpu.PentiumP54C100(), p, sim.NewRNG(0))
+			for i := 0; i < shape.nproc; i++ {
+				leg.Spawn("yielder", func(pr *Proc) {
+					for lap := 0; lap < shape.laps; lap++ {
+						pr.YieldTimeslice()
+					}
+				})
+			}
+			leg.Run()
+
+			smp := MustSMPMachine(p, 1)
+			for i := 0; i < shape.nproc; i++ {
+				smp.SpawnThread("yielder", []Op{{Kind: OpYield}}, shape.laps)
+			}
+			smp.Run()
+
+			if l, s := legacyStats(leg), smpStats(smp); l != s {
+				t.Errorf("%s yield ring %dx%d: legacy %+v != smp %+v",
+					p, shape.nproc, shape.laps, l, s)
+			}
+		}
+	}
+}
+
+// TestSMPAtOneCPUMatchesUniprocessorMixed runs a compute + syscall +
+// yield mix, the closing test that the three charge classes land in the
+// same columns.
+func TestSMPAtOneCPUMatchesUniprocessorMixed(t *testing.T) {
+	const laps, think = 200, 7 * sim.Microsecond
+	for _, p := range osprofile.All() {
+		leg := MustMachine(cpu.PentiumP54C100(), p, sim.NewRNG(0))
+		for i := 0; i < 3; i++ {
+			leg.Spawn("mixed", func(pr *Proc) {
+				for lap := 0; lap < laps; lap++ {
+					pr.Charge(think)
+					pr.Syscall()
+					pr.YieldTimeslice()
+				}
+			})
+		}
+		leg.Run()
+
+		smp := MustSMPMachine(p, 1)
+		for i := 0; i < 3; i++ {
+			smp.SpawnThread("mixed", []Op{
+				{Kind: OpThink, D: think},
+				{Kind: OpSyscall},
+				{Kind: OpYield},
+			}, laps)
+		}
+		smp.Run()
+
+		if l, s := legacyStats(leg), smpStats(smp); l != s {
+			t.Errorf("%s mixed: legacy %+v != smp %+v", p, l, s)
+		}
+	}
+}

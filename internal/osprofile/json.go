@@ -115,6 +115,15 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("scan-all scheduler needs a per-task cost")
 	case p.Kernel.Scheduler == SchedPreemptiveMT && p.Kernel.CtxTableSize < 0:
 		return fmt.Errorf("negative dispatch table size")
+	case p.Kernel.StealCost < 0:
+		return fmt.Errorf("negative steal cost")
+	// Lock costs are non-negative rather than required-positive so that
+	// profile JSONs written before the SMP model existed stay loadable
+	// (the kernel clamps zero spin quanta to a positive floor).
+	case p.Lock.SpinAcquire < 0 || p.Lock.SpinCheck < 0 || p.Lock.SpinBackoffMax < 0 ||
+		p.Lock.SleepAcquire < 0 || p.Lock.SleepBlock < 0 || p.Lock.SleepWake < 0 ||
+		p.Lock.RCURead < 0 || p.Lock.RCUSync < 0:
+		return fmt.Errorf("negative lock cost")
 	case p.FS.ReadPerKB <= 0 || p.FS.WritePerKB <= 0:
 		return fmt.Errorf("file data copy costs must be positive")
 	case p.FS.SeqReadEff <= 0 || p.FS.SeqReadEff > 1 || p.FS.SeqWriteEff <= 0 || p.FS.SeqWriteEff > 1:

@@ -91,6 +91,14 @@ type KernelCosts struct {
 	CtxTableMiss sim.Duration
 	// PipeWake is the cost of waking the peer blocked on a pipe.
 	PipeWake sim.Duration
+	// PipeWakeAll selects the pipe wakeup discipline: true wakes every
+	// process waiting on the pipe with one PipeWake charge (the
+	// thundering-herd behaviour of the era's kernels — woken processes
+	// that find the buffer empty simply re-block), false wakes only the
+	// head of the FIFO wait queue, charging PipeWake per wake. All the
+	// built-in personalities use wake-all, matching what the paper's
+	// kernels did; wake-one exists for what-if profiles.
+	PipeWakeAll bool
 	// PipeCopyPerKB is the one-direction cost of moving pipe data between
 	// a user buffer and the kernel. Solaris' STREAMS-based pipes pay
 	// message allocation on top of the copy, which is why theirs is
@@ -101,6 +109,52 @@ type KernelCosts struct {
 	// Fork and Exec are process-creation costs (MAB's compile phase forks
 	// a driver, preprocessor, compiler and assembler per source file).
 	Fork, Exec sim.Duration
+	// PerCPUQueues selects the SMP run-queue layout: true gives every
+	// virtual CPU its own queue with deterministic work stealing
+	// (Solaris' per-CPU dispatch queues), false shares one global queue
+	// (the Linux 1.2 / 4.4BSD big-lock structure). Irrelevant at one CPU,
+	// where both reduce to the uniprocessor scheduler bit for bit.
+	PerCPUQueues bool
+	// StealCost is the extra dispatch cost of pulling a thread off
+	// another CPU's queue (PerCPUQueues only).
+	StealCost sim.Duration
+}
+
+// LockCosts parameterises the SMP lock subsystem: spinlocks with
+// capped exponential backoff, sleep locks that block through the
+// scheduler, and RCU-style read-mostly paths. The constants are
+// per-personality calibrations in the spirit of the kernel costs: the
+// paper's systems were measured uniprocessor, so these encode each
+// lineage's synchronization style (Linux's bare test-and-set, 4.4BSD's
+// tsleep/wakeup, Solaris' adaptive mutexes and dispatcher locks) at
+// plausible mid-90s magnitudes.
+type LockCosts struct {
+	// SpinAcquire is the cost of an uncontended spinlock acquire (and of
+	// the release store) — one locked bus transaction plus bookkeeping.
+	SpinAcquire sim.Duration
+	// SpinCheck is the cost of one failed poll of a held spinlock.
+	SpinCheck sim.Duration
+	// SpinBackoffMax caps the exponential backoff delay between polls.
+	// The ladder starts at SpinCheck and doubles per failed poll; the
+	// cap bounds how stale a spinner's view of the lock can get, and is
+	// what makes spinning lose to sleeping once critical sections grow
+	// long (the handoff delay approaches the cap while a sleep lock's
+	// wake+switch cost is fixed).
+	SpinBackoffMax sim.Duration
+	// SleepAcquire is the cost of an uncontended sleep-lock acquire (and
+	// of an uncontended release).
+	SleepAcquire sim.Duration
+	// SleepBlock is the bookkeeping cost of enqueueing on the lock's
+	// wait channel and entering the scheduler (the context-switch cost
+	// itself is charged by the dispatcher, as always).
+	SleepBlock sim.Duration
+	// SleepWake is the releaser's cost of waking the head waiter.
+	SleepWake sim.Duration
+	// RCURead is the read-side enter+exit cost of an RCU-style section.
+	RCURead sim.Duration
+	// RCUSync is the writer's fixed cost of one synchronize call, on top
+	// of waiting out the readers' grace period.
+	RCUSync sim.Duration
 }
 
 // FSCosts parameterises the local file-system model.
@@ -258,8 +312,10 @@ type Profile struct {
 	Name, Version string
 	// Lineage describes the code ancestry the paper discusses in §2.1.
 	Lineage string
-	// Kernel, FS, Net, NFS hold the subsystem parameters.
+	// Kernel, FS, Net, NFS hold the subsystem parameters; Lock holds the
+	// SMP lock-subsystem parameters.
 	Kernel KernelCosts
+	Lock   LockCosts
 	FS     FSCosts
 	Net    NetCosts
 	NFS    NFSCosts

@@ -27,10 +27,24 @@ func Linux128() *Profile {
 			CtxBase:        34 * µs,
 			CtxPerTask:     1400 * sim.Nanosecond,
 			PipeWake:       8 * µs,
+			PipeWakeAll:    true,
 			PipeCopyPerKB:  22 * µs,
 			PipeCapacity:   4096,
 			Fork:           1900 * µs,
 			Exec:           4200 * µs,
+		},
+		// SMP style: a bare test-and-set spinlock under the big kernel
+		// lock — cheapest polls, a short backoff cap, minimal sleep-path
+		// bookkeeping. Global run queue (there is only one, under the BKL).
+		Lock: LockCosts{
+			SpinAcquire:    200 * sim.Nanosecond,
+			SpinCheck:      120 * sim.Nanosecond,
+			SpinBackoffMax: 60 * µs,
+			SleepAcquire:   600 * sim.Nanosecond,
+			SleepBlock:     4 * µs,
+			SleepWake:      8 * µs,
+			RCURead:        90 * sim.Nanosecond,
+			RCUSync:        40 * µs,
 		},
 		FS: FSCosts{
 			Type:                "ext2fs",
@@ -105,10 +119,24 @@ func FreeBSD205() *Profile {
 			ReadWriteExtra: 2900 * sim.Nanosecond,
 			CtxBase:        58 * µs,
 			PipeWake:       10 * µs,
+			PipeWakeAll:    true,
 			PipeCopyPerKB:  33 * µs,
 			PipeCapacity:   8192,
 			Fork:           4000 * µs,
 			Exec:           10000 * µs,
+		},
+		// SMP style: 4.4BSD simple_locks plus tsleep/wakeup — moderate
+		// poll cost, a mid-range backoff cap, and a heavier sleep path
+		// than Linux's. Global run queue (the 4.4BSD sched_lock world).
+		Lock: LockCosts{
+			SpinAcquire:    320 * sim.Nanosecond,
+			SpinCheck:      180 * sim.Nanosecond,
+			SpinBackoffMax: 110 * µs,
+			SleepAcquire:   900 * sim.Nanosecond,
+			SleepBlock:     6 * µs,
+			SleepWake:      10 * µs,
+			RCURead:        160 * sim.Nanosecond,
+			RCUSync:        70 * µs,
 		},
 		FS: FSCosts{
 			Type:                "ufs (4.4BSD FFS)",
@@ -189,10 +217,28 @@ func Solaris24() *Profile {
 			CtxTableSize:   32,
 			CtxTableMiss:   130 * µs,
 			PipeWake:       15 * µs,
+			PipeWakeAll:    true,
 			PipeCopyPerKB:  42 * µs, // STREAMS message allocation on the data path
 			PipeCapacity:   8192,
 			Fork:           12000 * µs,
 			Exec:           48000 * µs, // dynamic linking makes SVR4 exec of big images slow
+			// The genuinely multiprocessor kernel of the three: per-CPU
+			// dispatch queues with migration/stealing between them.
+			PerCPUQueues: true,
+			StealCost:    6 * µs,
+		},
+		// SMP style: Solaris adaptive mutexes — every operation carries
+		// the preemptive kernel's bookkeeping (owner tracking, turnstiles),
+		// so fixed costs are highest and the backoff cap is generous.
+		Lock: LockCosts{
+			SpinAcquire:    520 * sim.Nanosecond,
+			SpinCheck:      300 * sim.Nanosecond,
+			SpinBackoffMax: 320 * µs,
+			SleepAcquire:   1400 * sim.Nanosecond,
+			SleepBlock:     9 * µs,
+			SleepWake:      15 * µs,
+			RCURead:        260 * sim.Nanosecond,
+			RCUSync:        130 * µs,
 		},
 		FS: FSCosts{
 			Type:                "ufs (SVR4 FFS derivative)",

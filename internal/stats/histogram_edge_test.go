@@ -1,0 +1,84 @@
+package stats
+
+// Pins for the degenerate histogram inputs the SMP lock audit leans on:
+// empty histograms at the quantile extremes, and merging an empty (or
+// nil) histogram as a byte-identical no-op. These behaviors were already
+// correct; the pins keep them that way.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHistogramEmptyQuantileExtremes(t *testing.T) {
+	empty := &Histogram{}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+		if got := empty.QuantileLower(q); got != 0 {
+			t.Errorf("empty QuantileLower(%g) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileExtremesPinned(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{3, 64, 1000, 1_000_000} {
+		h.Observe(v)
+	}
+	// q=0 brackets the minimum's bucket, q=1 the maximum's: the lower
+	// bound never exceeds the smallest observation, the upper bound
+	// never undercuts the largest.
+	if lo := h.QuantileLower(0); lo > 3 {
+		t.Errorf("QuantileLower(0) = %d, above the minimum observation 3", lo)
+	}
+	if hi := h.Quantile(1); hi < 1_000_000 {
+		t.Errorf("Quantile(1) = %d, below the maximum observation 1e6", hi)
+	}
+	if h.Quantile(0) > h.Quantile(1) || h.QuantileLower(0) > h.QuantileLower(1) {
+		t.Error("quantile extremes out of order")
+	}
+}
+
+func TestHistogramMergeEmptyIsByteIdenticalNoOp(t *testing.T) {
+	mk := func() *Histogram {
+		h := &Histogram{}
+		for _, v := range []int64{1, 50, 50, 4096, 123456} {
+			h.Observe(v)
+		}
+		return h
+	}
+	want, err := mk().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mk()
+	h.Merge(&Histogram{})
+	got, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Merge(empty) changed the histogram:\n got %s\nwant %s", got, want)
+	}
+	h.Merge(nil)
+	got, err = h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Merge(nil) changed the histogram:\n got %s\nwant %s", got, want)
+	}
+	// And the symmetric case: merging into an empty histogram equals the
+	// source.
+	e := &Histogram{}
+	e.Merge(mk())
+	got, err = e.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("empty.Merge(h) != h:\n got %s\nwant %s", got, want)
+	}
+}

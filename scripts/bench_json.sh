@@ -20,11 +20,15 @@
 # is recorded — the rate of the HTTP + content-hash replay path, since
 # every response after the first is a cache hit.
 #
-# Invoked by `make bench-json`, which writes BENCH_pr8.json — the
+# It also times the SMP lock-contention sweep (`locks` — every
+# personality, both lock kinds, five CPU counts), so the parallel
+# engine's speed has a trajectory alongside the uniprocessor suite's.
+#
+# Invoked by `make bench-json`, which writes BENCH_pr10.json — the
 # perf-trajectory record this file format exists for.
 set -eu
 
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr10.json}"
 runs=3
 tmp="$(mktemp -d)"
 serve_pid=""
@@ -72,6 +76,11 @@ scale1k_times="[$times]"; scale1k_best=$best_ms
 
 time_cmd "$tmp/scale1m.txt" "$tmp/pentiumbench" -clients 1000000 scale
 scale1m_times="[$times]"; scale1m_best=$best_ms
+
+# The SMP lock-contention sweep: every personality, spin and sleep,
+# CPU counts 1..16 — the wall time of the conservative parallel engine.
+time_cmd "$tmp/locks.txt" "$tmp/pentiumbench" locks
+locks_times="[$times]"; locks_best=$best_ms
 
 # Modelled served throughput (ops/s column) at the sweep's top
 # population, first personality (Linux) — deterministic, so drift here
@@ -126,6 +135,8 @@ cat > "$out" <<EOF
   "scale_1m_ms": $scale1m_times,
   "scale_1m_best_ms": $scale1m_best,
   "scale_1m_modelled_opsps": $scale1m_opsps,
+  "locks_sweep_ms": $locks_times,
+  "locks_sweep_best_ms": $locks_best,
   "serve_endpoint": "/api/metrics/S1",
   "serve_clients": $serve_conc,
   "serve_requests": $serve_reqs,
@@ -133,4 +144,4 @@ cat > "$out" <<EOF
   "serve_rps": $serve_rps
 }
 EOF
-echo "wrote $out: cold ${cold_best}ms, fill ${fill_best}ms, warm ${warm_best}ms (${speedup}x warm speedup), scale 10^3 ${scale1k_best}ms / 10^6 ${scale1m_best}ms, serve ${serve_rps} req/s"
+echo "wrote $out: cold ${cold_best}ms, fill ${fill_best}ms, warm ${warm_best}ms (${speedup}x warm speedup), scale 10^3 ${scale1k_best}ms / 10^6 ${scale1m_best}ms, locks ${locks_best}ms, serve ${serve_rps} req/s"
